@@ -1,0 +1,45 @@
+"""E1 / Figure 1 — execution accuracy of text-to-SQL models across benchmarks.
+
+Reproduces the motivating figure: simulated models that are near-saturated on
+the public benchmarks (Spider, Bird, Fiben) collapse on the enterprise
+benchmark (Beaver).  Absolute numbers differ from the paper (different models,
+synthetic workloads); the shape — public high, enterprise dramatically lower —
+is the reproduced claim.
+"""
+
+from repro.evaluation import run_figure1
+from repro.reporting import render_figure1
+
+#: Queries evaluated per (model, benchmark) pair; raise for tighter estimates.
+MAX_QUERIES = 12
+
+
+def _compute(all_workloads):
+    return run_figure1(all_workloads, max_queries=MAX_QUERIES)
+
+
+def test_figure1_execution_accuracy(benchmark, all_workloads):
+    result = benchmark.pedantic(_compute, args=(all_workloads,), rounds=1, iterations=1)
+
+    series = {
+        model: result.series(model)
+        for model in ("GPT-4o", "Llama3.1-70B-lt", "Llama3.1-8B-lt")
+    }
+    for bench_name, best in result.best_models.items():
+        series.setdefault(best, {}).update(result.series(best))
+
+    print()
+    print(render_figure1(series, best_models=result.best_models))
+
+    # Shape assertions: every general model drops sharply on Beaver.
+    for model in ("GPT-4o", "Llama3.1-70B-lt", "Llama3.1-8B-lt"):
+        model_series = result.series(model)
+        public_mean = (
+            model_series["Spider"] + model_series["Bird"] + model_series["Fiben"]
+        ) / 3
+        assert model_series["Beaver"] < public_mean, f"{model} should drop on Beaver"
+        assert result.enterprise_gap(model) > 0.2, f"{model} gap should exceed 20 points"
+
+    # The strongest public result stays high while the best enterprise result is low.
+    assert result.accuracy("miniSeek", "Spider") >= 0.7
+    assert result.accuracy("contextModel", "Beaver") <= 0.5

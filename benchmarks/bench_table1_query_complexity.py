@@ -1,0 +1,38 @@
+"""E2 / Table 1 — query-level complexity metrics across benchmarks.
+
+Reproduces the paper's Table 1: average #keywords, #tokens, #tables, #columns,
+#aggregations and #nestings per query, with every public benchmark expressed
+relative to the Beaver (DW) baseline.  Expected shape: Beaver dominates every
+dimension; Fiben is the closest public benchmark; Spider and Bird are far
+simpler.
+"""
+
+from repro.metrics import build_table1, profile_query_set
+from repro.reporting import render_table1
+
+
+def _compute(all_workloads):
+    profiles = {
+        name: profile_query_set(name, workload.query_sql)
+        for name, workload in all_workloads.items()
+    }
+    rows = build_table1(profiles, "Beaver")
+    return profiles, rows
+
+
+def test_table1_query_complexity(benchmark, all_workloads):
+    profiles, rows = benchmark.pedantic(_compute, args=(all_workloads,), rounds=1, iterations=1)
+
+    print()
+    print(render_table1("Beaver", profiles["Beaver"].averages, rows))
+
+    beaver = profiles["Beaver"].averages
+    for public in ("Spider", "Bird"):
+        metrics = profiles[public].averages
+        # The paper reports Spider/Bird as strictly simpler than Beaver on every
+        # Table 1 dimension.
+        for key in ("keywords", "tokens", "tables", "columns", "aggregations", "nestings"):
+            assert metrics[key] < beaver[key], f"{public} should be simpler on {key}"
+    # Fiben sits between the simple public benchmarks and Beaver.
+    assert profiles["Fiben"].averages["tokens"] > profiles["Spider"].averages["tokens"]
+    assert profiles["Fiben"].averages["aggregations"] > profiles["Bird"].averages["aggregations"]

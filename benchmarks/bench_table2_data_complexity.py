@@ -1,0 +1,44 @@
+"""E3 / Table 2 — data-level complexity metrics across benchmarks.
+
+Reproduces the paper's Table 2: columns/table, rows/table, tables/DB, schema
+uniqueness, sparsity and data-type diversity, relative to Beaver (DW).
+Expected shape: Beaver has the widest tables, the most tables per database,
+the lowest column-name uniqueness and the highest sparsity; Bird has more rows
+per table; the public benchmarks have no sparsity.
+"""
+
+from repro.metrics import build_table2, profile_databases
+from repro.reporting import render_table2
+
+
+def _compute(all_workloads):
+    profiles = profile_databases(
+        {name: workload.database for name, workload in all_workloads.items()}
+    )
+    rows = build_table2(profiles, "Beaver")
+    return profiles, rows
+
+
+def test_table2_data_complexity(benchmark, all_workloads):
+    profiles, rows = benchmark.pedantic(_compute, args=(all_workloads,), rounds=1, iterations=1)
+
+    print()
+    print(render_table2("Beaver", profiles["Beaver"].as_dict(), rows))
+
+    beaver = profiles["Beaver"]
+    spider = profiles["Spider"]
+    bird = profiles["Bird"]
+    fiben = profiles["Fiben"]
+
+    # Paper shape: Beaver's tables are the widest and its schema the largest.
+    assert beaver.columns_per_table > spider.columns_per_table
+    assert beaver.columns_per_table > bird.columns_per_table
+    assert beaver.tables_per_db >= max(spider.tables_per_db, bird.tables_per_db)
+    # Only the enterprise warehouse has meaningful sparsity.
+    assert beaver.sparsity > 0.05
+    assert spider.sparsity == 0.0 and bird.sparsity == 0.0 and fiben.sparsity == 0.0
+    # Schema ambiguity: Beaver has the least unique column names.
+    assert beaver.uniqueness < spider.uniqueness
+    assert beaver.uniqueness < bird.uniqueness
+    # Bird's tables hold more rows than Beaver's (paper: +328.9%).
+    assert bird.rows_per_table > beaver.rows_per_table

@@ -1,0 +1,46 @@
+"""E4 / Table 3 — annotation accuracy by condition (BenchPress / Vanilla LLM / Manual).
+
+Runs the simulated between-subjects user study on the Beaver and Bird
+workloads and reports annotation accuracy per condition and dataset.
+Expected shape: BenchPress >= Vanilla LLM >= Manual overall, with the gap
+concentrated on the enterprise (Beaver) dataset and Bird near-saturated.
+"""
+
+import pytest
+
+from repro.reporting import render_table3
+from repro.study import Condition, StudyRunner, accuracy_table
+
+PARTICIPANTS = 9
+QUERIES_PER_DATASET = 5
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def study_result(beaver_workload, bird_workload):
+    runner = StudyRunner(
+        beaver_workload,
+        bird_workload,
+        participant_count=PARTICIPANTS,
+        queries_per_dataset=QUERIES_PER_DATASET,
+        seed=SEED,
+    )
+    return runner.run()
+
+
+def test_table3_annotation_accuracy(benchmark, study_result):
+    table = benchmark.pedantic(accuracy_table, args=(study_result,), rounds=1, iterations=1)
+
+    print()
+    print(render_table3(table))
+
+    overall = table.overall
+    assert overall[Condition.BENCHPRESS] >= overall[Condition.VANILLA_LLM]
+    assert overall[Condition.BENCHPRESS] >= overall[Condition.MANUAL]
+    assert overall[Condition.BENCHPRESS] > 0.6
+
+    # The enterprise dataset is where unassisted conditions struggle most.
+    beaver = table.per_dataset["Beaver"]
+    bird = table.per_dataset["Bird"]
+    assert beaver[Condition.BENCHPRESS] >= beaver[Condition.MANUAL]
+    assert bird[Condition.MANUAL] >= beaver[Condition.MANUAL]

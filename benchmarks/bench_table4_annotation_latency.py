@@ -1,0 +1,48 @@
+"""E5 / Table 4 — average annotation latency per condition.
+
+Same study run as the Table 3 harness; reports per-participant annotation time
+(minutes) per dataset and condition.  Expected shape: Manual is by far the
+slowest condition (several times BenchPress), Vanilla LLM is slightly slower
+than BenchPress, and enterprise (Beaver) queries take longer than Bird queries
+under every condition.
+"""
+
+import pytest
+
+from repro.reporting import render_table4
+from repro.study import Condition, StudyRunner, latency_table
+
+PARTICIPANTS = 9
+QUERIES_PER_DATASET = 5
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def study_result(beaver_workload, bird_workload):
+    runner = StudyRunner(
+        beaver_workload,
+        bird_workload,
+        participant_count=PARTICIPANTS,
+        queries_per_dataset=QUERIES_PER_DATASET,
+        seed=SEED,
+    )
+    return runner.run()
+
+
+def test_table4_annotation_latency(benchmark, study_result):
+    table = benchmark.pedantic(latency_table, args=(study_result,), rounds=1, iterations=1)
+
+    print()
+    print(render_table4(table))
+
+    total = table.total
+    # Manual annotation is dramatically slower than both assisted conditions.
+    assert total[Condition.MANUAL] > 2.5 * total[Condition.BENCHPRESS]
+    assert total[Condition.MANUAL] > 2.5 * total[Condition.VANILLA_LLM]
+    # BenchPress is the fastest condition overall.
+    assert total[Condition.BENCHPRESS] <= total[Condition.VANILLA_LLM] * 1.15
+
+    # Enterprise queries are slower to annotate than Bird queries when working manually.
+    beaver = table.per_dataset["Beaver"]
+    bird = table.per_dataset["Bird"]
+    assert beaver[Condition.MANUAL] > bird[Condition.MANUAL]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harnesses.
+
+The workloads are generated once per session at a reduced (but shared) scale so
+every harness finishes in seconds while preserving the relative differences
+between benchmarks.  Increase ``ROW_SCALE`` / ``QUERY_COUNT`` for a
+higher-fidelity run (the shapes do not change, only the statistical noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_benchmark
+
+#: Fraction of the paper's rows/table used by the benchmark harnesses.
+ROW_SCALE = 0.0015
+#: Queries generated per workload.
+QUERY_COUNT = 20
+#: Seed shared by every harness so numbers are reproducible run-to-run.
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def spider_workload():
+    return build_benchmark("Spider", seed=SEED, row_scale=ROW_SCALE, query_count=QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def bird_workload():
+    return build_benchmark("Bird", seed=SEED, row_scale=ROW_SCALE, query_count=QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def fiben_workload():
+    return build_benchmark("Fiben", seed=SEED, row_scale=ROW_SCALE, query_count=QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def beaver_workload():
+    return build_benchmark("Beaver", seed=SEED, row_scale=ROW_SCALE, query_count=QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def all_workloads(spider_workload, bird_workload, fiben_workload, beaver_workload):
+    return {
+        "Spider": spider_workload,
+        "Bird": bird_workload,
+        "Fiben": fiben_workload,
+        "Beaver": beaver_workload,
+    }

@@ -1,0 +1,61 @@
+"""Benchmark curation at scale: build a private text-to-SQL benchmark and evaluate models on it.
+
+The downstream purpose of BenchPress is producing a domain-specific benchmark
+that an organisation can use to evaluate text-to-SQL models on *their* data.
+This example:
+
+1. generates a Beaver-like enterprise workload (stands in for private logs),
+2. annotates a slice of it with the BenchPress pipeline,
+3. exports the curated benchmark to JSON,
+4. evaluates several simulated text-to-SQL models on the curated benchmark
+   using execution accuracy — the Figure 1 methodology applied to a freshly
+   curated private benchmark.
+
+Run with:  python examples/benchmark_curation.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import AnnotationPipeline, TaskConfig, export_benchmark_json
+from repro.evaluation import SimulatedText2SQLModel
+from repro.metrics import compare_execution
+from repro.workloads import build_benchmark
+
+
+def main() -> None:
+    workload = build_benchmark("Beaver", seed=3, row_scale=0.001, query_count=12)
+    print(f"Generated enterprise workload: {len(workload.schema.tables)} tables, "
+          f"{len(workload.queries)} log queries")
+
+    pipeline = AnnotationPipeline(
+        workload.schema,
+        config=TaskConfig(model_name="gpt-4o", num_candidates=4),
+        dataset_name=workload.name,
+    )
+    for term, explanation in workload.spec.domain_terms.items():
+        pipeline.feedback_loop.knowledge.add(term, explanation)
+
+    records = [pipeline.annotate(query.sql, query_id=query.query_id) for query in workload.queries]
+    output = Path("curated_benchmark.json")
+    export_benchmark_json(records, output)
+    print(f"Curated benchmark with {len(records)} (NL, SQL) pairs written to {output}\n")
+
+    print("Evaluating text-to-SQL models on the curated benchmark (execution accuracy):")
+    for model_name in ("GPT-4o", "Llama3.1-70B-lt", "Llama3.1-8B-lt", "contextModel"):
+        model = SimulatedText2SQLModel.for_workload(model_name, workload)
+        matches = 0
+        for record in records:
+            predicted = model.predict(record.nl, record.sql)
+            if compare_execution(workload.database, record.sql, predicted).match:
+                matches += 1
+        accuracy = matches / len(records)
+        print(f"  {model_name:<18} {accuracy * 100:5.1f}%")
+
+    print("\nLow scores on a freshly curated private benchmark are exactly the "
+          "deployment-risk signal BenchPress is designed to surface before rollout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: annotate a handful of enterprise SQL log queries with BenchPress.
+
+Creates a workspace, loads the built-in Beaver-like enterprise benchmark,
+runs the annotation loop (decomposition -> retrieval -> candidate generation ->
+feedback), and exports the accepted annotations as a benchmark-ready JSON file.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import Feedback, FeedbackAction, Workspace, export_benchmark_json
+
+
+def main() -> None:
+    # 1. Project setup: the API key never leaves the client in the real system;
+    #    here it is simply held in memory.
+    workspace = Workspace("analyst", api_key="local-only-key")
+
+    # 2. Dataset ingestion: pick one of the supported benchmarks
+    #    (Spider, Bird, Fiben, Beaver) or upload your own schema + SQL log.
+    project = workspace.create_project_from_benchmark(
+        "enterprise-demo", "Beaver", query_count=8, seed=1
+    )
+    pipeline = project.pipeline
+    print(f"Project ready: {len(project.pending_queries)} queries to annotate")
+    print(f"Task configuration: {project.config.describe()}\n")
+
+    # 3. Annotation loop: accept the model's top suggestion for the first
+    #    queries, then demonstrate editing and knowledge injection.
+    for sql in list(project.pending_queries)[:3]:
+        record = pipeline.annotate(sql)
+        print(f"[{record.query_id}] {record.nl}\n")
+
+    sql = project.pending_queries[0]
+    candidate_set = pipeline.generate_candidates(sql)
+    print("Candidates for the next query:")
+    for index, candidate in enumerate(candidate_set.candidates):
+        print(f"  ({index}) {candidate}")
+
+    feedback = Feedback(
+        action=FeedbackAction.EDIT,
+        edited_text=candidate_set.candidates[0],
+        knowledge=[("Moira", "the mailing-list management system used for newsletters")],
+        new_priorities=["always spell out filtering logic"],
+    )
+    record = pipeline.submit_feedback(candidate_set, feedback)
+    print(f"\nAccepted after edit: {record.nl}")
+    print(f"Knowledge base now holds {len(pipeline.feedback_loop.knowledge)} entries")
+    print(f"Example store now holds {pipeline.example_count} annotations for retrieval")
+
+    # 4. Review & export.
+    output = Path("benchpress_export.json")
+    export_benchmark_json(pipeline.annotations, output)
+    print(f"\nExported {len(pipeline.accepted_annotations)} annotations to {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""BenchPress reproduction: human-in-the-loop SQL-to-NL benchmark curation.
+
+The package mirrors the system described in *BenchPress: A Human-in-the-Loop
+Annotation System for Rapid Text-to-SQL Benchmark Curation* (CIDR 2026):
+
+* :mod:`repro.core` — the annotation system itself (workspaces, ingestion,
+  the annotation loop, feedback, export),
+* :mod:`repro.sql` / :mod:`repro.engine` / :mod:`repro.schema` — the SQL
+  front-end, in-memory execution engine, and schema substrate,
+* :mod:`repro.retrieval` / :mod:`repro.llm` — the RAG component and the
+  deterministic simulated LLM,
+* :mod:`repro.workloads` — synthetic Spider/Bird/Fiben/Beaver workloads,
+* :mod:`repro.study` / :mod:`repro.evaluation` / :mod:`repro.metrics` /
+  :mod:`repro.reporting` — the experiment harnesses reproducing the paper's
+  tables and figures.
+
+Quickstart::
+
+    from repro.core import Workspace
+    workspace = Workspace("analyst")
+    project = workspace.create_project_from_benchmark("demo", "Beaver", query_count=10)
+    record = project.pipeline.annotate(project.pending_queries[0])
+    print(record.nl)
+"""
+
+from repro.core import (
+    AnnotationPipeline,
+    Feedback,
+    FeedbackAction,
+    TaskConfig,
+    Workspace,
+    export_benchmark_json,
+)
+from repro.engine import Database
+from repro.llm import KnowledgeBase, SimulatedLLM
+from repro.retrieval import ContextRetriever, ExampleStore
+from repro.schema import DatabaseSchema
+from repro.workloads import build_all_benchmarks, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationPipeline",
+    "ContextRetriever",
+    "Database",
+    "DatabaseSchema",
+    "ExampleStore",
+    "Feedback",
+    "FeedbackAction",
+    "KnowledgeBase",
+    "SimulatedLLM",
+    "TaskConfig",
+    "Workspace",
+    "__version__",
+    "build_all_benchmarks",
+    "build_benchmark",
+    "export_benchmark_json",
+]

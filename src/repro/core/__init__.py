@@ -1,0 +1,48 @@
+"""The BenchPress system: projects, ingestion, annotation loop, export."""
+
+from repro.core.config import AnnotationTask, TaskConfig
+from repro.core.export import (
+    ReviewReport,
+    export_benchmark_json,
+    export_jsonl,
+    review_against_gold,
+    to_benchmark_records,
+)
+from repro.core.feedback import Feedback, FeedbackAction, FeedbackLoop, FeedbackOutcome
+from repro.core.ingestion import (
+    IngestedDataset,
+    LogEntry,
+    ingest_benchmark,
+    ingest_files,
+    ingest_sql_log,
+    load_benchmark_json,
+    split_sql_log,
+)
+from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, CandidateSet
+from repro.core.project import Project, Workspace
+
+__all__ = [
+    "AnnotationPipeline",
+    "AnnotationRecord",
+    "AnnotationTask",
+    "CandidateSet",
+    "Feedback",
+    "FeedbackAction",
+    "FeedbackLoop",
+    "FeedbackOutcome",
+    "IngestedDataset",
+    "LogEntry",
+    "Project",
+    "ReviewReport",
+    "TaskConfig",
+    "Workspace",
+    "export_benchmark_json",
+    "export_jsonl",
+    "ingest_benchmark",
+    "ingest_files",
+    "ingest_sql_log",
+    "load_benchmark_json",
+    "review_against_gold",
+    "split_sql_log",
+    "to_benchmark_records",
+]

@@ -1,0 +1,73 @@
+"""Task configuration (paper step 3).
+
+Users choose the annotation direction (currently SQL-to-NL), the language
+model, and the pipeline features to enable.  The configuration object also
+carries the ablation switches used by the E7 benchmarks (RAG on/off,
+decomposition on/off, knowledge feedback on/off, candidate count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import PipelineError
+
+
+class AnnotationTask(Enum):
+    """Supported annotation directions."""
+
+    SQL_TO_NL = "sql_to_nl"
+    # The paper lists text-to-SQL validation as future work; the enum leaves
+    # room for it so the configuration surface matches the system description.
+    NL_TO_SQL = "nl_to_sql"
+
+
+@dataclass
+class TaskConfig:
+    """Configuration of one annotation project.
+
+    Attributes:
+        task: Annotation direction (only SQL_TO_NL is fully supported).
+        model_name: Simulated LLM profile to use for candidate generation.
+        num_candidates: Candidates generated per query (the paper uses 4).
+        top_k_examples: Retrieved prior annotations added to the prompt.
+        rag_enabled: Include retrieved examples + relevant schema tables.
+        decomposition_enabled: Decompose nested queries into CTE units.
+        knowledge_feedback_enabled: Inject accumulated domain knowledge.
+        auto_accept_into_examples: Store accepted annotations for future RAG.
+    """
+
+    task: AnnotationTask = AnnotationTask.SQL_TO_NL
+    model_name: str = "gpt-4o"
+    num_candidates: int = 4
+    top_k_examples: int = 3
+    rag_enabled: bool = True
+    decomposition_enabled: bool = True
+    knowledge_feedback_enabled: bool = True
+    auto_accept_into_examples: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`PipelineError` on inconsistent settings."""
+        if self.num_candidates < 1:
+            raise PipelineError("num_candidates must be at least 1")
+        if self.top_k_examples < 0:
+            raise PipelineError("top_k_examples cannot be negative")
+        if self.task is AnnotationTask.NL_TO_SQL:
+            raise PipelineError(
+                "NL_TO_SQL annotation is future work in the paper and not supported yet"
+            )
+
+    def describe(self) -> str:
+        """One-line summary used in logs and exports."""
+        features = []
+        if self.rag_enabled:
+            features.append("rag")
+        if self.decomposition_enabled:
+            features.append("decomposition")
+        if self.knowledge_feedback_enabled:
+            features.append("knowledge")
+        return (
+            f"{self.task.value} with {self.model_name}, {self.num_candidates} candidates"
+            f" [{', '.join(features) or 'no assistance'}]"
+        )

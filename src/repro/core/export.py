@@ -1,0 +1,117 @@
+"""Review and export (paper step 7).
+
+Accepted annotations are evaluated against ground truth (when available) with
+automatic metrics and exported in the typical benchmark-ready JSON format used
+by Spider/Bird-style datasets: a list of records with the NL question, the
+gold SQL, and the database identifier.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.pipeline import AnnotationRecord
+from repro.errors import ExportError
+from repro.metrics.textgen import bleu_score, exact_match, rouge_l
+
+
+@dataclass
+class ReviewReport:
+    """Automatic-metric summary of a set of annotations against ground truth."""
+
+    count: int
+    exact_match_rate: float
+    mean_bleu: float
+    mean_rouge_l: float
+    per_query: list[dict[str, object]] = field(default_factory=list)
+
+
+def review_against_gold(
+    annotations: list[AnnotationRecord], gold: dict[str, str]
+) -> ReviewReport:
+    """Score annotations against gold NL descriptions keyed by query id.
+
+    Records without a gold entry are skipped (qualitative-review-only in the
+    paper's terms); an empty intersection raises :class:`ExportError` because
+    that always indicates mismatched ids.
+    """
+    scored: list[dict[str, object]] = []
+    exact = 0
+    bleu_total = 0.0
+    rouge_total = 0.0
+    for record in annotations:
+        if record.query_id not in gold:
+            continue
+        reference = gold[record.query_id]
+        is_exact = exact_match(record.nl, reference)
+        bleu = bleu_score(record.nl, reference)
+        rouge = rouge_l(record.nl, reference).f1
+        exact += int(is_exact)
+        bleu_total += bleu
+        rouge_total += rouge
+        scored.append(
+            {
+                "query_id": record.query_id,
+                "exact_match": is_exact,
+                "bleu": bleu,
+                "rouge_l": rouge,
+            }
+        )
+    if not scored:
+        raise ExportError("no annotation matched a gold entry; check query ids")
+    count = len(scored)
+    return ReviewReport(
+        count=count,
+        exact_match_rate=exact / count,
+        mean_bleu=bleu_total / count,
+        mean_rouge_l=rouge_total / count,
+        per_query=scored,
+    )
+
+
+def to_benchmark_records(annotations: list[AnnotationRecord]) -> list[dict[str, object]]:
+    """Convert accepted annotations to benchmark-ready dictionaries."""
+    records = []
+    for record in annotations:
+        if not record.accepted or not record.nl:
+            continue
+        records.append(
+            {
+                "question": record.nl,
+                "query": record.sql,
+                "db_id": record.dataset or "default",
+                "query_id": record.query_id,
+                "source": "benchpress",
+                "model": record.model_name,
+                "decomposed": record.was_decomposed,
+            }
+        )
+    return records
+
+
+def export_benchmark_json(
+    annotations: list[AnnotationRecord], path: str | Path, indent: int = 2
+) -> Path:
+    """Write accepted annotations to a benchmark JSON file and return its path."""
+    records = to_benchmark_records(annotations)
+    if not records:
+        raise ExportError("there are no accepted annotations to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(records, indent=indent), encoding="utf-8")
+    return path
+
+
+def export_jsonl(annotations: list[AnnotationRecord], path: str | Path) -> Path:
+    """Write accepted annotations as JSON Lines (one record per line)."""
+    records = to_benchmark_records(annotations)
+    if not records:
+        raise ExportError("there are no accepted annotations to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return path

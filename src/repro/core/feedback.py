@@ -1,0 +1,113 @@
+"""Human feedback handling (paper step 6).
+
+Annotators can rank, refine, discard or add priorities to the LLM's output,
+inject external domain knowledge, and highlight failure patterns.  Feedback is
+applied to the in-flight annotation *and* folded back into the session state
+(priorities + knowledge base) so later queries benefit from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import PipelineError
+from repro.llm.knowledge import KnowledgeBase
+
+
+class FeedbackAction(Enum):
+    """What the annotator did with the generated candidates."""
+
+    ACCEPT = "accept"            # accepted a candidate unchanged
+    EDIT = "edit"                # accepted a candidate after editing it
+    REWRITE = "rewrite"          # discarded all candidates and wrote from scratch
+    DISCARD = "discard"          # discarded the query entirely
+    REGENERATE = "regenerate"    # asked for regeneration with new priorities
+
+
+@dataclass
+class Feedback:
+    """One feedback event for one query."""
+
+    action: FeedbackAction
+    selected_index: int | None = None
+    edited_text: str = ""
+    ranking: list[int] = field(default_factory=list)
+    new_priorities: list[str] = field(default_factory=list)
+    knowledge: list[tuple[str, str]] = field(default_factory=list)  # (term, explanation)
+    failure_patterns: list[tuple[str, str]] = field(default_factory=list)
+    comment: str = ""
+
+
+@dataclass
+class FeedbackOutcome:
+    """Result of applying feedback to a set of candidates."""
+
+    final_text: str | None
+    accepted: bool
+    action: FeedbackAction
+    needs_regeneration: bool = False
+
+
+class FeedbackLoop:
+    """Applies feedback events and accumulates session-level guidance."""
+
+    def __init__(self, knowledge: KnowledgeBase | None = None) -> None:
+        self.knowledge = knowledge or KnowledgeBase()
+        self.priorities: list[str] = []
+        self.history: list[Feedback] = []
+
+    def apply(self, candidates: list[str], feedback: Feedback) -> FeedbackOutcome:
+        """Apply one feedback event to the candidates of the current query."""
+        self.history.append(feedback)
+
+        for term, explanation in feedback.knowledge:
+            self.knowledge.add(term, explanation)
+        for description, guidance in feedback.failure_patterns:
+            self.knowledge.add_failure_pattern(description, guidance)
+        for priority in feedback.new_priorities:
+            if priority not in self.priorities:
+                self.priorities.append(priority)
+
+        if feedback.action is FeedbackAction.DISCARD:
+            return FeedbackOutcome(final_text=None, accepted=False, action=feedback.action)
+
+        if feedback.action is FeedbackAction.REGENERATE:
+            return FeedbackOutcome(
+                final_text=None,
+                accepted=False,
+                action=feedback.action,
+                needs_regeneration=True,
+            )
+
+        if feedback.action is FeedbackAction.REWRITE:
+            if not feedback.edited_text.strip():
+                raise PipelineError("REWRITE feedback requires edited_text")
+            return FeedbackOutcome(
+                final_text=feedback.edited_text.strip(), accepted=True, action=feedback.action
+            )
+
+        if feedback.action is FeedbackAction.EDIT:
+            if not feedback.edited_text.strip():
+                raise PipelineError("EDIT feedback requires edited_text")
+            return FeedbackOutcome(
+                final_text=feedback.edited_text.strip(), accepted=True, action=feedback.action
+            )
+
+        # ACCEPT
+        if not candidates:
+            raise PipelineError("cannot accept a candidate when none were generated")
+        index = feedback.selected_index if feedback.selected_index is not None else 0
+        if not 0 <= index < len(candidates):
+            raise PipelineError(
+                f"selected_index {index} out of range for {len(candidates)} candidates"
+            )
+        return FeedbackOutcome(
+            final_text=candidates[index], accepted=True, action=feedback.action
+        )
+
+    def rank(self, candidates: list[str], ranking: list[int]) -> list[str]:
+        """Reorder candidates according to an annotator-provided ranking."""
+        if sorted(ranking) != list(range(len(candidates))):
+            raise PipelineError("ranking must be a permutation of the candidate indices")
+        return [candidates[index] for index in ranking]

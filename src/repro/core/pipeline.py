@@ -1,0 +1,248 @@
+"""The BenchPress annotation loop (paper §4.1, steps 3.5–7).
+
+For each SQL query the pipeline:
+
+1. optionally *decomposes* nested queries into CTE-style logical units,
+2. *retrieves* context — similar prior annotations and the relevant schema
+   tables,
+3. *generates* candidate NL descriptions with the configured (simulated) LLM,
+4. optionally *recomposes* per-unit descriptions into one explanation,
+5. applies *human feedback* (accept/edit/rewrite/discard, priorities,
+   domain knowledge),
+6. records accepted annotations — both into the export set and into the
+   example store so later queries retrieve them (the growing-archive effect
+   the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TaskConfig
+from repro.core.feedback import Feedback, FeedbackAction, FeedbackLoop
+from repro.errors import PipelineError
+from repro.llm.base import LLMClient
+from repro.llm.prompts import Prompt, PromptBuilder
+from repro.llm.simulated import SimulatedLLM
+from repro.retrieval.retriever import ContextRetriever, RetrievedContext
+from repro.schema.model import DatabaseSchema
+from repro.sql.analyzer import is_nested
+from repro.sql.decompose import DecompositionResult, decompose
+from repro.sql.parser import parse_select
+from repro.sql.recompose import recompose
+
+
+@dataclass
+class CandidateSet:
+    """Candidates generated for one query, plus the context that produced them."""
+
+    sql: str
+    candidates: list[str]
+    dataset: str = ""
+    prompt: Prompt | None = None
+    context: RetrievedContext | None = None
+    decomposition: DecompositionResult | None = None
+    unit_candidates: dict[str, list[str]] = field(default_factory=dict)
+    model_name: str = ""
+
+    @property
+    def was_decomposed(self) -> bool:
+        """Whether the nested-query decomposition path was taken."""
+        return self.decomposition is not None and self.decomposition.was_nested
+
+
+@dataclass
+class AnnotationRecord:
+    """One accepted (or discarded) annotation."""
+
+    query_id: str
+    sql: str
+    nl: str
+    dataset: str = ""
+    accepted: bool = True
+    action: str = FeedbackAction.ACCEPT.value
+    candidates: list[str] = field(default_factory=list)
+    was_decomposed: bool = False
+    model_name: str = ""
+
+
+class AnnotationPipeline:
+    """Drives the annotation loop for one project/dataset."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        config: TaskConfig | None = None,
+        llm: LLMClient | None = None,
+        retriever: ContextRetriever | None = None,
+        feedback_loop: FeedbackLoop | None = None,
+        dataset_name: str = "",
+    ) -> None:
+        self.config = config or TaskConfig()
+        self.config.validate()
+        self.schema = schema
+        self.dataset_name = dataset_name
+        self.feedback_loop = feedback_loop or FeedbackLoop()
+        self.retriever = retriever or ContextRetriever(
+            schema, top_k_examples=self.config.top_k_examples
+        )
+        self.llm = llm or SimulatedLLM(
+            self.config.model_name, schema=schema, knowledge=self.feedback_loop.knowledge
+        )
+        self._prompt_builder = PromptBuilder(
+            num_candidates=self.config.num_candidates,
+            max_examples=self.config.top_k_examples,
+        )
+        self.annotations: list[AnnotationRecord] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # candidate generation (steps 3.5 - 5.5)
+    # ------------------------------------------------------------------
+
+    def generate_candidates(self, sql: str, query_id: str | None = None) -> CandidateSet:
+        """Run decomposition, retrieval and LLM generation for one query."""
+        sql = sql.strip().rstrip(";")
+        if not sql:
+            raise PipelineError("cannot annotate an empty SQL string")
+        select = parse_select(sql)
+
+        use_decomposition = self.config.decomposition_enabled and is_nested(select)
+        decomposition = decompose(select) if use_decomposition else None
+
+        if decomposition is not None and decomposition.was_nested:
+            candidates, unit_candidates = self._generate_decomposed(decomposition)
+        else:
+            candidates = self._generate_flat(sql)
+            unit_candidates = {}
+
+        context = self._retrieve(sql)
+        prompt = self._build_prompt(sql, context)
+        return CandidateSet(
+            sql=sql,
+            candidates=candidates,
+            dataset=self.dataset_name,
+            prompt=prompt,
+            context=context,
+            decomposition=decomposition,
+            unit_candidates=unit_candidates,
+            model_name=self.llm.name,
+        )
+
+    def _retrieve(self, sql: str) -> RetrievedContext | None:
+        if not self.config.rag_enabled:
+            return None
+        return self.retriever.retrieve(sql, dataset=self.dataset_name or None)
+
+    def _build_prompt(self, sql: str, context: RetrievedContext | None) -> Prompt:
+        knowledge = (
+            self.feedback_loop.knowledge if self.config.knowledge_feedback_enabled else None
+        )
+        return self._prompt_builder.build(
+            sql,
+            context=context,
+            knowledge=knowledge,
+            priorities=self.feedback_loop.priorities,
+        )
+
+    def _generate_flat(self, sql: str) -> list[str]:
+        context = self._retrieve(sql)
+        prompt = self._build_prompt(sql, context)
+        return self.llm.generate(prompt).candidates
+
+    def _generate_decomposed(
+        self, decomposition: DecompositionResult
+    ) -> tuple[list[str], dict[str, list[str]]]:
+        unit_candidates: dict[str, list[str]] = {}
+        for unit in decomposition.units:
+            context = self._retrieve(unit.sql)
+            prompt = self._build_prompt(unit.sql, context)
+            unit_candidates[unit.name] = self.llm.generate(prompt).candidates
+
+        merged: list[str] = []
+        for candidate_index in range(self.config.num_candidates):
+            descriptions = {
+                name: candidates[min(candidate_index, len(candidates) - 1)]
+                for name, candidates in unit_candidates.items()
+                if candidates
+            }
+            merged_text = recompose(decomposition, descriptions).text
+            if merged_text not in merged:
+                merged.append(merged_text)
+        return merged, unit_candidates
+
+    # ------------------------------------------------------------------
+    # feedback + acceptance (steps 6 - 7)
+    # ------------------------------------------------------------------
+
+    def submit_feedback(
+        self, candidate_set: CandidateSet, feedback: Feedback, query_id: str | None = None
+    ) -> AnnotationRecord | None:
+        """Apply annotator feedback; returns the record when one is produced.
+
+        ``None`` is returned when the feedback asks for regeneration (call
+        :meth:`generate_candidates` again — the new priorities and knowledge
+        are already folded into the session).
+        """
+        outcome = self.feedback_loop.apply(candidate_set.candidates, feedback)
+        if outcome.needs_regeneration:
+            return None
+
+        self._counter += 1
+        record = AnnotationRecord(
+            query_id=query_id or f"{(self.dataset_name or 'query').lower()}-{self._counter:05d}",
+            sql=candidate_set.sql,
+            nl=outcome.final_text or "",
+            dataset=self.dataset_name,
+            accepted=outcome.accepted,
+            action=outcome.action.value,
+            candidates=list(candidate_set.candidates),
+            was_decomposed=candidate_set.was_decomposed,
+            model_name=candidate_set.model_name,
+        )
+        self.annotations.append(record)
+
+        if outcome.accepted and self.config.auto_accept_into_examples and record.nl:
+            self.retriever.record_annotation(
+                record.sql, record.nl, dataset=self.dataset_name
+            )
+        return record
+
+    def annotate(
+        self, sql: str, feedback: Feedback | None = None, query_id: str | None = None
+    ) -> AnnotationRecord:
+        """Convenience: generate candidates and apply feedback in one call.
+
+        Without explicit feedback the top-ranked candidate is accepted, which
+        is the "annotator agrees with the first suggestion" fast path.
+        """
+        candidate_set = self.generate_candidates(sql, query_id=query_id)
+        feedback = feedback or Feedback(action=FeedbackAction.ACCEPT, selected_index=0)
+        record = self.submit_feedback(candidate_set, feedback, query_id=query_id)
+        if record is None:
+            # A regeneration request with no follow-up: accept the refreshed top candidate.
+            candidate_set = self.generate_candidates(sql, query_id=query_id)
+            record = self.submit_feedback(
+                candidate_set, Feedback(action=FeedbackAction.ACCEPT, selected_index=0),
+                query_id=query_id,
+            )
+        assert record is not None
+        return record
+
+    def annotate_many(self, statements: list[str]) -> list[AnnotationRecord]:
+        """Annotate a list of SQL statements with default (accept-top) feedback."""
+        return [self.annotate(sql) for sql in statements]
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def accepted_annotations(self) -> list[AnnotationRecord]:
+        """Annotations that were accepted (not discarded)."""
+        return [record for record in self.annotations if record.accepted]
+
+    @property
+    def example_count(self) -> int:
+        """Number of examples currently available for retrieval."""
+        return len(self.retriever.example_store)

@@ -1,0 +1,114 @@
+"""Project / workspace management (paper step 1).
+
+A *workspace* is identified by a username and holds multiple *projects*, each
+associated with one schema and the SQL logs uploaded for it.  API keys stay on
+the client in the real system; here the credential is simply held in memory
+and never serialised, preserving the privacy property the paper emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TaskConfig
+from repro.core.feedback import FeedbackLoop
+from repro.core.ingestion import IngestedDataset, ingest_benchmark, ingest_sql_log
+from repro.core.pipeline import AnnotationPipeline
+from repro.errors import ProjectError
+from repro.schema.model import DatabaseSchema
+
+
+@dataclass
+class Project:
+    """One annotation project: a schema, its SQL log, and a pipeline."""
+
+    name: str
+    dataset: IngestedDataset
+    config: TaskConfig = field(default_factory=TaskConfig)
+    pipeline: AnnotationPipeline | None = None
+
+    def __post_init__(self) -> None:
+        if self.pipeline is None:
+            self.pipeline = AnnotationPipeline(
+                schema=self.dataset.schema,
+                config=self.config,
+                dataset_name=self.dataset.name,
+            )
+
+    @property
+    def pending_queries(self) -> list[str]:
+        """SQL statements not yet annotated."""
+        annotated = {record.sql for record in self.pipeline.annotations}
+        return [entry.sql for entry in self.dataset.valid_entries if entry.sql not in annotated]
+
+    @property
+    def progress(self) -> float:
+        """Fraction of valid log entries that have been annotated."""
+        total = len(self.dataset.valid_entries)
+        if total == 0:
+            return 1.0
+        return min(1.0, len(self.pipeline.annotations) / total)
+
+
+class Workspace:
+    """A user's collection of annotation projects."""
+
+    def __init__(self, username: str, api_key: str | None = None) -> None:
+        if not username.strip():
+            raise ProjectError("username must be non-empty")
+        self.username = username.strip()
+        self._api_key = api_key  # never serialised; mirrors browser-local storage
+        self._projects: dict[str, Project] = {}
+
+    @property
+    def has_api_key(self) -> bool:
+        """Whether a model API credential is configured (value never exposed)."""
+        return bool(self._api_key)
+
+    @property
+    def project_names(self) -> list[str]:
+        """Names of all projects in creation order."""
+        return list(self._projects.keys())
+
+    def project(self, name: str) -> Project:
+        """Fetch a project by name."""
+        if name not in self._projects:
+            raise ProjectError(f"workspace {self.username!r} has no project {name!r}")
+        return self._projects[name]
+
+    def create_project_from_log(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        log_text: str,
+        config: TaskConfig | None = None,
+    ) -> Project:
+        """Create a project from an uploaded schema and SQL log."""
+        if name in self._projects:
+            raise ProjectError(f"project {name!r} already exists")
+        dataset = ingest_sql_log(log_text, schema, dataset_name=name)
+        project = Project(name=name, dataset=dataset, config=config or TaskConfig())
+        self._projects[name] = project
+        return project
+
+    def create_project_from_benchmark(
+        self,
+        name: str,
+        benchmark: str,
+        config: TaskConfig | None = None,
+        seed: int = 0,
+        query_count: int = 30,
+    ) -> Project:
+        """Create a project backed by one of the built-in benchmarks."""
+        if name in self._projects:
+            raise ProjectError(f"project {name!r} already exists")
+        dataset = ingest_benchmark(benchmark, seed=seed, query_count=query_count)
+        project = Project(name=name, dataset=dataset, config=config or TaskConfig())
+        self._projects[name] = project
+        return project
+
+    def delete_project(self, name: str) -> None:
+        """Remove a project from the workspace."""
+        if name not in self._projects:
+            raise ProjectError(f"workspace {self.username!r} has no project {name!r}")
+        del self._projects[name]

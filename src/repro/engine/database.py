@@ -1,0 +1,204 @@
+"""Database facade: catalog + storage + executor in one object.
+
+:class:`Database` is the substrate on which every experiment runs: workload
+generators populate databases, the execution-accuracy metric runs gold and
+predicted SQL against them, and the backtranslation rubric re-executes
+regenerated SQL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, ExecutionError
+from repro.engine.executor import Executor, QueryResult
+from repro.engine.storage import StoredColumn, StoredTable
+from repro.engine.types import DataType, SQLValue
+from repro.sql.ast_nodes import CreateTable, Insert, Literal, Select, Statement, UnaryOp, UnaryOperator
+from repro.sql.parser import parse, parse_many
+
+
+class Database:
+    """An in-memory relational database with a SQL interface.
+
+    Example:
+        >>> db = Database("demo")
+        >>> db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        >>> db.execute("INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')")
+        >>> db.execute("SELECT COUNT(*) FROM t").rows
+        [(2,)]
+    """
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: dict[str, StoredTable] = {}
+        self._executor = Executor(self)
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all tables in creation order."""
+        return [table.name for table in self._tables.values()]
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this (case-insensitive) name exists."""
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> StoredTable:
+        """Look up a table by name.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"unknown table {name!r}") from exc
+
+    def tables(self) -> list[StoredTable]:
+        """All stored tables."""
+        return list(self._tables.values())
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[tuple[str, str]] | list[StoredColumn],
+        primary_key: list[str] | None = None,
+    ) -> StoredTable:
+        """Create a table programmatically.
+
+        ``columns`` is either a list of :class:`StoredColumn` or
+        ``(name, sql_type)`` pairs.
+        """
+        if self.has_table(name):
+            raise CatalogError(f"table {name!r} already exists")
+        stored_columns: list[StoredColumn] = []
+        for column in columns:
+            if isinstance(column, StoredColumn):
+                stored_columns.append(column)
+            else:
+                column_name, type_name = column
+                stored_columns.append(
+                    StoredColumn(name=column_name, data_type=DataType.from_sql(type_name))
+                )
+        if primary_key:
+            pk_lower = {column.lower() for column in primary_key}
+            for column in stored_columns:
+                if column.name.lower() in pk_lower:
+                    column.primary_key = True
+                    column.not_null = True
+        table = StoredTable(name=name, columns=stored_columns)
+        self._tables[name.lower()] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if not self.has_table(name):
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name.lower()]
+        self._executor.clear_cache()
+
+    def insert(self, table_name: str, rows: list[dict[str, SQLValue]] | list[tuple]) -> int:
+        """Insert rows programmatically; returns the number of rows inserted."""
+        table = self.table(table_name)
+        table.insert_rows(rows)
+        self._executor.clear_cache()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # SQL interface
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute a single SQL statement."""
+        return self.execute_statement(parse(sql))
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a ``;``-separated script, returning one result per statement."""
+        return [self.execute_statement(statement) for statement in parse_many(sql)]
+
+    def execute_statement(self, statement: Statement) -> QueryResult:
+        """Execute an already-parsed statement."""
+        if isinstance(statement, Select):
+            return self._executor.execute_select(statement)
+        if isinstance(statement, CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement)
+        raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    def query(self, sql: str) -> list[tuple[SQLValue, ...]]:
+        """Execute a SELECT and return just the rows."""
+        return self.execute(sql).rows
+
+    # ------------------------------------------------------------------
+    # DDL / DML execution
+    # ------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: CreateTable) -> QueryResult:
+        if self.has_table(statement.name):
+            if statement.if_not_exists:
+                return QueryResult(columns=[], rows=[])
+            raise CatalogError(f"table {statement.name!r} already exists")
+        pk_from_table = {name.lower() for name in statement.primary_key}
+        columns = []
+        for column_def in statement.columns:
+            column = StoredColumn(
+                name=column_def.name,
+                data_type=DataType.from_sql(column_def.type_name),
+                not_null=column_def.not_null or column_def.primary_key,
+                primary_key=column_def.primary_key or column_def.name.lower() in pk_from_table,
+                unique=column_def.unique,
+            )
+            if column.primary_key:
+                column.not_null = True
+            columns.append(column)
+        table = StoredTable(name=statement.name, columns=columns)
+        self._tables[statement.name.lower()] = table
+        return QueryResult(columns=[], rows=[])
+
+    def _execute_insert(self, statement: Insert) -> QueryResult:
+        table = self.table(statement.table)
+        self._executor.clear_cache()
+        inserted = 0
+        for row in statement.rows:
+            values = [self._literal_value(expression) for expression in row]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError(
+                        f"INSERT into {statement.table!r}: {len(statement.columns)} columns "
+                        f"but {len(values)} values"
+                    )
+                table.insert_row(dict(zip(statement.columns, values)))
+            else:
+                table.insert_row(values)
+            inserted += 1
+        return QueryResult(columns=["rows_inserted"], rows=[(inserted,)])
+
+    @staticmethod
+    def _literal_value(expression) -> SQLValue:
+        if isinstance(expression, Literal):
+            return expression.value
+        if isinstance(expression, UnaryOp) and expression.op is UnaryOperator.NEG and isinstance(
+            expression.operand, Literal
+        ):
+            value = expression.operand.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return -value
+        raise ExecutionError("INSERT VALUES must be literal constants")
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def row_count(self, table_name: str) -> int:
+        """Number of rows stored in a table."""
+        return len(self.table(table_name))
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Database({self.name!r}, tables={len(self._tables)}, rows={self.total_rows()})"

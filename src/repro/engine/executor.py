@@ -1,0 +1,938 @@
+"""Query executor for the in-memory relational engine.
+
+Executes :class:`repro.sql.ast_nodes.Select` trees against a
+:class:`repro.engine.database.Database`.  Supports the query shapes produced
+by the workload generators and needed by the evaluation harnesses:
+
+* joins (inner/left/right/full/cross) with ON / USING conditions,
+* WHERE filters with three-valued NULL handling,
+* GROUP BY / HAVING with the aggregate functions in
+  :mod:`repro.engine.functions`, including implicit aggregation
+  (``SELECT COUNT(*) FROM t``),
+* correlated and uncorrelated subqueries (scalar, IN, EXISTS),
+* common table expressions, set operations, DISTINCT, ORDER BY, LIMIT/OFFSET.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.engine.functions import call_aggregate, call_scalar, is_scalar_function
+from repro.engine.storage import ColumnLabel, Relation
+from repro.engine.types import SQLValue, compare_values, is_numeric
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    BinaryOperator,
+    Cast,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    JoinType,
+    Like,
+    Literal,
+    OrderItem,
+    Parameter,
+    Relation as ASTRelation,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperator,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    UnaryOperator,
+)
+
+#: Sentinel returned by _order_key in non-strict mode when no key was found.
+_ORDER_KEY_MISS = object()
+
+#: Aggregate function names the executor recognises.
+_AGGREGATE_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP_CONCAT", "STDDEV", "VARIANCE", "MEDIAN"}
+
+
+@dataclass
+class RowContext:
+    """Binds one row of a relation for expression evaluation.
+
+    ``parent`` links to the enclosing query's context, enabling correlated
+    subqueries.  ``group_rows`` is set while evaluating aggregated output: it
+    holds every (relation, row) pair of the current group so aggregate calls
+    can collect their inputs.
+    """
+
+    relation: Relation | None = None
+    row: tuple[SQLValue, ...] | None = None
+    parent: "RowContext | None" = None
+    group_rows: list[tuple[SQLValue, ...]] | None = None
+
+    def lookup(self, name: str, table: str | None) -> SQLValue:
+        """Resolve a column reference, walking up to outer query contexts."""
+        context: RowContext | None = self
+        while context is not None:
+            if context.relation is not None and context.row is not None:
+                try:
+                    index = context.relation.column_index(name, table)
+                    return context.row[index]
+                except ExecutionError:
+                    pass
+            context = context.parent
+        qualified = f"{table}.{name}" if table else name
+        raise ExecutionError(f"unknown column reference {qualified!r}")
+
+
+@dataclass
+class QueryResult:
+    """Materialised result of executing a query."""
+
+    columns: list[str]
+    rows: list[tuple[SQLValue, ...]] = field(default_factory=list)
+
+    def as_relation(self) -> Relation:
+        """View the result as an executor relation (columns unqualified)."""
+        labels = [ColumnLabel(name=name) for name in self.columns]
+        return Relation(labels=labels, rows=list(self.rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Executor:
+    """Executes SELECT statements against a database's table catalog."""
+
+    def __init__(self, database: "Database") -> None:  # noqa: F821 - forward ref
+        self._database = database
+        # Cache of uncorrelated subquery results, keyed by AST node id.  The
+        # node itself is kept in the value so its id cannot be reused while the
+        # cache entry is alive.  The database clears this cache on any DDL/DML.
+        self._subquery_cache: dict[int, tuple[Select, QueryResult]] = {}
+
+    def clear_cache(self) -> None:
+        """Drop cached subquery results (called after data modifications)."""
+        self._subquery_cache.clear()
+
+    def _execute_subquery_cached(self, subquery: Select, context: RowContext) -> QueryResult:
+        """Execute a subquery, caching the result when it is uncorrelated.
+
+        The first execution is attempted without the outer row context; if that
+        succeeds the subquery cannot reference outer columns and its result is
+        reused for every outer row.  Correlated subqueries fall back to per-row
+        execution.
+        """
+        key = id(subquery)
+        cached = self._subquery_cache.get(key)
+        if cached is not None and cached[0] is subquery:
+            return cached[1]
+        try:
+            result = self.execute_select(subquery, None)
+        except ExecutionError:
+            return self.execute_select(subquery, context)
+        self._subquery_cache[key] = (subquery, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def execute_select(self, select: Select, outer: RowContext | None = None) -> QueryResult:
+        """Execute a SELECT and return a materialised result."""
+        cte_scope: dict[str, Relation] = {}
+        for cte in select.ctes:
+            result = self.execute_select(cte.query, outer)
+            relation = result.as_relation()
+            if cte.column_names:
+                if len(cte.column_names) != len(relation.labels):
+                    raise ExecutionError(
+                        f"CTE {cte.name!r} declares {len(cte.column_names)} columns "
+                        f"but its query produces {len(relation.labels)}"
+                    )
+                relation = Relation(
+                    labels=[ColumnLabel(name=name) for name in cte.column_names],
+                    rows=relation.rows,
+                )
+            cte_scope[cte.name.lower()] = relation
+
+        return self._execute_body(select, cte_scope, outer)
+
+    # ------------------------------------------------------------------
+    # core execution
+    # ------------------------------------------------------------------
+
+    def _execute_body(
+        self, select: Select, cte_scope: dict[str, Relation], outer: RowContext | None
+    ) -> QueryResult:
+        if select.set_operator is not None and select.set_right is not None:
+            return self._execute_set_operation(select, cte_scope, outer)
+
+        source = self._execute_relation(select.from_relation, cte_scope, outer)
+
+        # WHERE
+        filtered_rows: list[tuple[SQLValue, ...]] = []
+        if select.where is not None:
+            for row in source.rows:
+                context = RowContext(relation=source, row=row, parent=outer)
+                if _is_true(self._evaluate(select.where, context)):
+                    filtered_rows.append(row)
+        else:
+            filtered_rows = list(source.rows)
+
+        needs_aggregation = bool(select.group_by) or self._has_aggregate_items(select)
+
+        if needs_aggregation:
+            result = self._execute_aggregation(select, source, filtered_rows, outer)
+        else:
+            result = self._execute_projection(select, source, filtered_rows, outer)
+
+        if select.distinct:
+            result = QueryResult(columns=result.columns, rows=_distinct_rows(result.rows))
+
+        if select.order_by:
+            result = self._apply_order_by(select, source, filtered_rows, result, outer, needs_aggregation)
+
+        if select.limit is not None or select.offset is not None:
+            offset = select.offset or 0
+            end = offset + select.limit if select.limit is not None else None
+            result = QueryResult(columns=result.columns, rows=result.rows[offset:end])
+
+        return result
+
+    def _execute_set_operation(
+        self, select: Select, cte_scope: dict[str, Relation], outer: RowContext | None
+    ) -> QueryResult:
+        left_core = Select(
+            select_items=select.select_items,
+            distinct=select.distinct,
+            from_relation=select.from_relation,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+        )
+        left = self._execute_body(left_core, cte_scope, outer)
+        right = self._execute_body(select.set_right, cte_scope, outer)
+        if len(left.columns) != len(right.columns):
+            raise ExecutionError(
+                "set operation requires both sides to produce the same number of columns"
+            )
+
+        if select.set_operator is SetOperator.UNION_ALL:
+            rows = left.rows + right.rows
+        elif select.set_operator is SetOperator.UNION:
+            rows = _distinct_rows(left.rows + right.rows)
+        elif select.set_operator is SetOperator.INTERSECT:
+            right_set = {_row_key(row) for row in right.rows}
+            rows = _distinct_rows([row for row in left.rows if _row_key(row) in right_set])
+        else:  # EXCEPT
+            right_set = {_row_key(row) for row in right.rows}
+            rows = _distinct_rows([row for row in left.rows if _row_key(row) not in right_set])
+
+        result = QueryResult(columns=left.columns, rows=rows)
+
+        if select.order_by:
+            relation = result.as_relation()
+            result = QueryResult(
+                columns=result.columns,
+                rows=self._sort_output_rows(select.order_by, relation, result.rows, outer),
+            )
+        if select.limit is not None or select.offset is not None:
+            offset = select.offset or 0
+            end = offset + select.limit if select.limit is not None else None
+            result = QueryResult(columns=result.columns, rows=result.rows[offset:end])
+        return result
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _execute_relation(
+        self,
+        relation: ASTRelation | None,
+        cte_scope: dict[str, Relation],
+        outer: RowContext | None,
+    ) -> Relation:
+        if relation is None:
+            # SELECT without FROM: a single empty row so expressions evaluate once.
+            return Relation(labels=[], rows=[tuple()])
+        if isinstance(relation, TableRef):
+            return self._resolve_table(relation, cte_scope)
+        if isinstance(relation, SubqueryRef):
+            result = self.execute_select(relation.query, outer)
+            return result.as_relation().renamed(relation.alias)
+        if isinstance(relation, Join):
+            return self._execute_join(relation, cte_scope, outer)
+        raise ExecutionError(f"unsupported relation node {type(relation).__name__}")
+
+    def _resolve_table(self, table_ref: TableRef, cte_scope: dict[str, Relation]) -> Relation:
+        key = table_ref.name.lower()
+        if key in cte_scope:
+            relation = cte_scope[key]
+            return relation.renamed(table_ref.effective_name)
+        stored = self._database.table(table_ref.name)
+        return stored.to_relation(alias=table_ref.effective_name)
+
+    def _execute_join(
+        self, join: Join, cte_scope: dict[str, Relation], outer: RowContext | None
+    ) -> Relation:
+        left = self._execute_relation(join.left, cte_scope, outer)
+        right = self._execute_relation(join.right, cte_scope, outer)
+        labels = left.labels + right.labels
+        combined = Relation(labels=labels)
+
+        condition = join.condition
+        if join.using_columns and condition is None:
+            condition = self._build_using_condition(join.using_columns, left, right)
+
+        rows: list[tuple[SQLValue, ...]] = []
+        matched_right: set[int] = set()
+
+        equi_columns = self._equi_join_columns(condition, left, right)
+        if equi_columns is not None:
+            left_index, right_index_position = equi_columns
+            buckets: dict[object, list[int]] = {}
+            for position, right_row in enumerate(right.rows):
+                key = _hashable(right_row[right_index_position])
+                if key is None:
+                    continue
+                buckets.setdefault(key, []).append(position)
+            for left_row in left.rows:
+                key = _hashable(left_row[left_index])
+                positions = buckets.get(key, []) if key is not None else []
+                if positions:
+                    for position in positions:
+                        rows.append(left_row + right.rows[position])
+                        matched_right.add(position)
+                elif join.join_type in (JoinType.LEFT, JoinType.FULL):
+                    rows.append(left_row + tuple([None] * len(right.labels)))
+        else:
+            def matches(left_row: tuple, right_row: tuple) -> bool:
+                if condition is None:
+                    return True
+                context = RowContext(relation=combined, row=left_row + right_row, parent=outer)
+                return _is_true(self._evaluate(condition, context))
+
+            for left_row in left.rows:
+                matched = False
+                for right_position, right_row in enumerate(right.rows):
+                    if matches(left_row, right_row):
+                        rows.append(left_row + right_row)
+                        matched = True
+                        matched_right.add(right_position)
+                if not matched and join.join_type in (JoinType.LEFT, JoinType.FULL):
+                    rows.append(left_row + tuple([None] * len(right.labels)))
+
+        if join.join_type in (JoinType.RIGHT, JoinType.FULL):
+            for right_position, right_row in enumerate(right.rows):
+                if right_position not in matched_right:
+                    rows.append(tuple([None] * len(left.labels)) + right_row)
+
+        combined.rows = rows
+        return combined
+
+    def _equi_join_columns(
+        self, condition: Expression | None, left: Relation, right: Relation
+    ) -> tuple[int, int] | None:
+        """Resolve a simple equality join condition to (left index, right index).
+
+        Returns None when the condition is not a plain column equality spanning
+        the two inputs, in which case the executor falls back to a nested loop.
+        """
+        if not isinstance(condition, BinaryOp) or condition.op is not BinaryOperator.EQ:
+            return None
+        if not isinstance(condition.left, ColumnRef) or not isinstance(condition.right, ColumnRef):
+            return None
+        for first, second in ((condition.left, condition.right), (condition.right, condition.left)):
+            try:
+                left_position = left.column_index(first.name, first.table)
+                right_position = right.column_index(second.name, second.table)
+                return left_position, right_position
+            except ExecutionError:
+                continue
+        return None
+
+    @staticmethod
+    def _build_using_condition(columns: list[str], left: Relation, right: Relation) -> Expression:
+        condition: Expression | None = None
+        for name in columns:
+            left_label = next(label for label in left.labels if label.matches(name))
+            right_label = next(label for label in right.labels if label.matches(name))
+            comparison = BinaryOp(
+                op=BinaryOperator.EQ,
+                left=ColumnRef(name=left_label.name, table=left_label.relation or None),
+                right=ColumnRef(name=right_label.name, table=right_label.relation or None),
+            )
+            condition = comparison if condition is None else BinaryOp(
+                op=BinaryOperator.AND, left=condition, right=comparison
+            )
+        assert condition is not None
+        return condition
+
+    # ------------------------------------------------------------------
+    # projection / aggregation
+    # ------------------------------------------------------------------
+
+    def _expand_select_items(self, select: Select, source: Relation) -> list[SelectItem]:
+        expanded: list[SelectItem] = []
+        for item in select.select_items:
+            if isinstance(item.expression, Star):
+                table_filter = item.expression.table
+                for label in source.labels:
+                    if table_filter and label.relation.lower() != table_filter.lower():
+                        continue
+                    expanded.append(
+                        SelectItem(
+                            expression=ColumnRef(name=label.name, table=label.relation or None),
+                            alias=label.name,
+                        )
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _execute_projection(
+        self,
+        select: Select,
+        source: Relation,
+        rows: list[tuple[SQLValue, ...]],
+        outer: RowContext | None,
+    ) -> QueryResult:
+        items = self._expand_select_items(select, source)
+        columns = [_output_name(item, index) for index, item in enumerate(items)]
+        output_rows: list[tuple[SQLValue, ...]] = []
+        for row in rows:
+            context = RowContext(relation=source, row=row, parent=outer)
+            output_rows.append(tuple(self._evaluate(item.expression, context) for item in items))
+        return QueryResult(columns=columns, rows=output_rows)
+
+    def _has_aggregate_items(self, select: Select) -> bool:
+        expressions: list[Expression | None] = [item.expression for item in select.select_items]
+        expressions.append(select.having)
+        for expression in expressions:
+            if expression is not None and _contains_aggregate(expression):
+                return True
+        return False
+
+    def _execute_aggregation(
+        self,
+        select: Select,
+        source: Relation,
+        rows: list[tuple[SQLValue, ...]],
+        outer: RowContext | None,
+    ) -> QueryResult:
+        items = self._expand_select_items(select, source)
+        columns = [_output_name(item, index) for index, item in enumerate(items)]
+
+        groups: dict[tuple, list[tuple[SQLValue, ...]]] = {}
+        if select.group_by:
+            for row in rows:
+                context = RowContext(relation=source, row=row, parent=outer)
+                key = tuple(
+                    _hashable(self._evaluate(expression, context)) for expression in select.group_by
+                )
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = rows
+
+        output_rows: list[tuple[SQLValue, ...]] = []
+        for _, group_rows in groups.items():
+            representative = group_rows[0] if group_rows else tuple([None] * len(source.labels))
+            context = RowContext(
+                relation=source, row=representative, parent=outer, group_rows=group_rows
+            )
+            if select.having is not None:
+                if not _is_true(self._evaluate_aggregate_aware(select.having, context, source, outer)):
+                    continue
+            output_rows.append(
+                tuple(
+                    self._evaluate_aggregate_aware(item.expression, context, source, outer)
+                    for item in items
+                )
+            )
+        return QueryResult(columns=columns, rows=output_rows)
+
+    # ------------------------------------------------------------------
+    # ORDER BY
+    # ------------------------------------------------------------------
+
+    def _apply_order_by(
+        self,
+        select: Select,
+        source: Relation,
+        source_rows: list[tuple[SQLValue, ...]],
+        result: QueryResult,
+        outer: RowContext | None,
+        aggregated: bool,
+    ) -> QueryResult:
+        output_relation = result.as_relation()
+        expression_positions = self._projected_expression_positions(select, source)
+
+        if not aggregated and not select.distinct and len(source_rows) == len(result.rows):
+            # Sort keys may reference columns that were not projected; evaluate
+            # them against the source rows, which stay aligned with the output.
+            return QueryResult(
+                columns=result.columns,
+                rows=self._sort_with_source(
+                    select.order_by, output_relation, result.rows, source, source_rows,
+                    outer, expression_positions,
+                ),
+            )
+        return QueryResult(
+            columns=result.columns,
+            rows=self._sort_output_rows(
+                select.order_by, output_relation, result.rows, outer, expression_positions
+            ),
+        )
+
+    def _projected_expression_positions(
+        self, select: Select, source: Relation
+    ) -> dict[str, int]:
+        """Map printed select-item expressions to their output positions."""
+        from repro.sql.printer import print_expression
+
+        positions: dict[str, int] = {}
+        items = self._expand_select_items(select, source)
+        for index, item in enumerate(items):
+            try:
+                positions.setdefault(print_expression(item.expression), index)
+            except Exception:
+                continue
+        return positions
+
+    def _sort_with_source(
+        self,
+        order_by: list[OrderItem],
+        output_relation: Relation,
+        rows: list[tuple[SQLValue, ...]],
+        source: Relation,
+        source_rows: list[tuple[SQLValue, ...]],
+        outer: RowContext | None,
+        expression_positions: dict[str, int],
+    ) -> list[tuple[SQLValue, ...]]:
+        import functools
+
+        paired = list(zip(rows, source_rows))
+
+        def key_for(item: OrderItem, output_row: tuple, source_row: tuple) -> SQLValue:
+            value = self._order_key(
+                item, output_relation, output_row, outer, expression_positions, strict=False
+            )
+            if value is not _ORDER_KEY_MISS:
+                return value
+            context = RowContext(relation=source, row=source_row, parent=outer)
+            try:
+                return self._evaluate(item.expression, context)
+            except ExecutionError:
+                return None
+
+        def compare(left: tuple, right: tuple) -> int:
+            for item in order_by:
+                value_a = key_for(item, left[0], left[1])
+                value_b = key_for(item, right[0], right[1])
+                comparison = _null_aware_compare(value_a, value_b, item)
+                if comparison != 0:
+                    return comparison if item.ascending else -comparison
+            return 0
+
+        return [pair[0] for pair in sorted(paired, key=functools.cmp_to_key(compare))]
+
+    def _sort_output_rows(
+        self,
+        order_by: list[OrderItem],
+        output_relation: Relation,
+        rows: list[tuple[SQLValue, ...]],
+        outer: RowContext | None,
+        expression_positions: dict[str, int] | None = None,
+    ) -> list[tuple[SQLValue, ...]]:
+        import functools
+
+        positions = expression_positions or {}
+
+        def compare(row_a: tuple, row_b: tuple) -> int:
+            for item in order_by:
+                value_a = self._order_key(item, output_relation, row_a, outer, positions)
+                value_b = self._order_key(item, output_relation, row_b, outer, positions)
+                comparison = _null_aware_compare(value_a, value_b, item)
+                if comparison != 0:
+                    return comparison if item.ascending else -comparison
+            return 0
+
+        return sorted(rows, key=functools.cmp_to_key(compare))
+
+    def _order_key(
+        self,
+        item: OrderItem,
+        output_relation: Relation,
+        row: tuple[SQLValue, ...],
+        outer: RowContext | None,
+        expression_positions: dict[str, int] | None = None,
+        strict: bool = True,
+    ) -> SQLValue:
+        expression = item.expression
+        # ORDER BY <position>
+        if isinstance(expression, Literal) and isinstance(expression.value, int):
+            index = expression.value - 1
+            if 0 <= index < len(row):
+                return row[index]
+            raise ExecutionError(f"ORDER BY position {expression.value} is out of range")
+        # ORDER BY <output column or alias>
+        if isinstance(expression, ColumnRef):
+            try:
+                index = output_relation.column_index(expression.name, expression.table)
+                return row[index]
+            except ExecutionError:
+                pass
+        # ORDER BY <expression identical to a projected expression> (e.g. COUNT(*)).
+        if expression_positions:
+            from repro.sql.printer import print_expression
+
+            try:
+                printed = print_expression(expression)
+            except Exception:
+                printed = None
+            if printed is not None and printed in expression_positions:
+                return row[expression_positions[printed]]
+        if not strict:
+            return _ORDER_KEY_MISS
+        context = RowContext(relation=output_relation, row=row, parent=outer)
+        try:
+            return self._evaluate(expression, context)
+        except ExecutionError:
+            return None
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_aggregate_aware(
+        self,
+        expression: Expression,
+        context: RowContext,
+        source: Relation,
+        outer: RowContext | None,
+    ) -> SQLValue:
+        """Evaluate an expression in grouped mode (aggregates over the group)."""
+        if isinstance(expression, FunctionCall) and expression.upper_name in _AGGREGATE_NAMES:
+            group_rows = context.group_rows or []
+            count_star = bool(expression.args) and isinstance(expression.args[0], Star)
+            if count_star or not expression.args:
+                values: list[SQLValue] = [1] * len(group_rows)
+            else:
+                values = []
+                for row in group_rows:
+                    row_context = RowContext(relation=source, row=row, parent=outer)
+                    values.append(self._evaluate(expression.args[0], row_context))
+            return call_aggregate(expression.upper_name, values, expression.distinct, count_star)
+        if isinstance(expression, BinaryOp):
+            left = self._evaluate_aggregate_aware(expression.left, context, source, outer)
+            right = self._evaluate_aggregate_aware(expression.right, context, source, outer)
+            return _apply_binary(expression.op, left, right)
+        if isinstance(expression, UnaryOp):
+            operand = self._evaluate_aggregate_aware(expression.operand, context, source, outer)
+            return _apply_unary(expression.op, operand)
+        if isinstance(expression, FunctionCall) and is_scalar_function(expression.name):
+            args = [
+                self._evaluate_aggregate_aware(arg, context, source, outer)
+                for arg in expression.args
+            ]
+            return call_scalar(expression.name, args)
+        if isinstance(expression, CaseWhen):
+            for condition, result in expression.conditions:
+                if _is_true(self._evaluate_aggregate_aware(condition, context, source, outer)):
+                    return self._evaluate_aggregate_aware(result, context, source, outer)
+            if expression.else_result is not None:
+                return self._evaluate_aggregate_aware(expression.else_result, context, source, outer)
+            return None
+        if isinstance(expression, Cast):
+            operand = self._evaluate_aggregate_aware(expression.operand, context, source, outer)
+            return _apply_cast(operand, expression.target_type)
+        return self._evaluate(expression, context)
+
+    def _evaluate(self, expression: Expression, context: RowContext) -> SQLValue:
+        if isinstance(expression, Literal):
+            return expression.value
+        if isinstance(expression, ColumnRef):
+            return context.lookup(expression.name, expression.table)
+        if isinstance(expression, Star):
+            raise ExecutionError("'*' is only valid inside COUNT(*) or the select list")
+        if isinstance(expression, Parameter):
+            raise ExecutionError("bind parameters are not supported during direct execution")
+        if isinstance(expression, BinaryOp):
+            if expression.op is BinaryOperator.AND:
+                left = self._evaluate(expression.left, context)
+                if left is False:
+                    return False
+                right = self._evaluate(expression.right, context)
+                if right is False:
+                    return False
+                if left is None or right is None:
+                    return None
+                return _is_true(left) and _is_true(right)
+            if expression.op is BinaryOperator.OR:
+                left = self._evaluate(expression.left, context)
+                if _is_true(left):
+                    return True
+                right = self._evaluate(expression.right, context)
+                if _is_true(right):
+                    return True
+                if left is None or right is None:
+                    return None
+                return False
+            left = self._evaluate(expression.left, context)
+            right = self._evaluate(expression.right, context)
+            return _apply_binary(expression.op, left, right)
+        if isinstance(expression, UnaryOp):
+            operand = self._evaluate(expression.operand, context)
+            return _apply_unary(expression.op, operand)
+        if isinstance(expression, FunctionCall):
+            if expression.upper_name in _AGGREGATE_NAMES:
+                # Aggregate outside grouped evaluation: aggregate over the group
+                # rows when available, otherwise this is a malformed query.
+                if context.group_rows is not None and context.relation is not None:
+                    values = []
+                    count_star = bool(expression.args) and isinstance(expression.args[0], Star)
+                    for row in context.group_rows:
+                        if count_star or not expression.args:
+                            values.append(1)
+                        else:
+                            row_context = RowContext(
+                                relation=context.relation, row=row, parent=context.parent
+                            )
+                            values.append(self._evaluate(expression.args[0], row_context))
+                    return call_aggregate(
+                        expression.upper_name, values, expression.distinct, count_star
+                    )
+                raise ExecutionError(
+                    f"aggregate {expression.upper_name} used outside aggregation context"
+                )
+            args = [self._evaluate(arg, context) for arg in expression.args]
+            return call_scalar(expression.name, args)
+        if isinstance(expression, Cast):
+            return _apply_cast(self._evaluate(expression.operand, context), expression.target_type)
+        if isinstance(expression, CaseWhen):
+            for condition, result in expression.conditions:
+                if _is_true(self._evaluate(condition, context)):
+                    return self._evaluate(result, context)
+            if expression.else_result is not None:
+                return self._evaluate(expression.else_result, context)
+            return None
+        if isinstance(expression, IsNull):
+            value = self._evaluate(expression.operand, context)
+            result = value is None
+            return not result if expression.negated else result
+        if isinstance(expression, InList):
+            value = self._evaluate(expression.operand, context)
+            if value is None:
+                return None
+            members = [self._evaluate(item, context) for item in expression.values]
+            contained = any(
+                member is not None and compare_values(value, member) == 0 for member in members
+            )
+            return not contained if expression.negated else contained
+        if isinstance(expression, InSubquery):
+            value = self._evaluate(expression.operand, context)
+            if value is None:
+                return None
+            result = self._execute_subquery_cached(expression.subquery, context)
+            members = [row[0] for row in result.rows if row]
+            contained = any(
+                member is not None and compare_values(value, member) == 0 for member in members
+            )
+            return not contained if expression.negated else contained
+        if isinstance(expression, Exists):
+            result = self._execute_subquery_cached(expression.subquery, context)
+            exists = len(result.rows) > 0
+            return not exists if expression.negated else exists
+        if isinstance(expression, Between):
+            value = self._evaluate(expression.operand, context)
+            low = self._evaluate(expression.low, context)
+            high = self._evaluate(expression.high, context)
+            if value is None or low is None or high is None:
+                return None
+            in_range = compare_values(value, low) >= 0 and compare_values(value, high) <= 0
+            return not in_range if expression.negated else in_range
+        if isinstance(expression, Like):
+            value = self._evaluate(expression.operand, context)
+            pattern = self._evaluate(expression.pattern, context)
+            if value is None or pattern is None:
+                return None
+            matched = _like_match(str(value), str(pattern))
+            return not matched if expression.negated else matched
+        if isinstance(expression, ScalarSubquery):
+            result = self._execute_subquery_cached(expression.query, context)
+            if not result.rows:
+                return None
+            if len(result.rows[0]) != 1:
+                raise ExecutionError("scalar subquery must return exactly one column")
+            return result.rows[0][0]
+        raise ExecutionError(f"unsupported expression node {type(expression).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _output_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    if isinstance(expression, FunctionCall):
+        return expression.upper_name.lower()
+    return f"col_{index}"
+
+
+def _is_true(value: SQLValue) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if is_numeric(value):
+        return value != 0
+    return bool(value)
+
+
+def _contains_aggregate(expression: Expression) -> bool:
+    from repro.sql.analyzer import iter_expressions
+
+    for node in iter_expressions(expression):
+        if isinstance(node, FunctionCall) and node.upper_name in _AGGREGATE_NAMES:
+            return True
+    return False
+
+
+def _apply_binary(op: BinaryOperator, left: SQLValue, right: SQLValue) -> SQLValue:
+    if op in (BinaryOperator.AND, BinaryOperator.OR):
+        if left is None or right is None:
+            return None
+        return _is_true(left) and _is_true(right) if op is BinaryOperator.AND else (
+            _is_true(left) or _is_true(right)
+        )
+    if left is None or right is None:
+        return None
+    if op is BinaryOperator.ADD:
+        return _numeric_binary(left, right, lambda a, b: a + b)
+    if op is BinaryOperator.SUB:
+        return _numeric_binary(left, right, lambda a, b: a - b)
+    if op is BinaryOperator.MUL:
+        return _numeric_binary(left, right, lambda a, b: a * b)
+    if op is BinaryOperator.DIV:
+        if float(right) == 0.0:
+            return None
+        return _numeric_binary(left, right, lambda a, b: a / b)
+    if op is BinaryOperator.MOD:
+        if float(right) == 0.0:
+            return None
+        return _numeric_binary(left, right, lambda a, b: a % b)
+    if op is BinaryOperator.CONCAT:
+        return f"{left}{right}"
+    comparison = compare_values(left, right)
+    if op is BinaryOperator.EQ:
+        return comparison == 0
+    if op is BinaryOperator.NEQ:
+        return comparison != 0
+    if op is BinaryOperator.LT:
+        return comparison < 0
+    if op is BinaryOperator.LTE:
+        return comparison <= 0
+    if op is BinaryOperator.GT:
+        return comparison > 0
+    if op is BinaryOperator.GTE:
+        return comparison >= 0
+    raise ExecutionError(f"unsupported binary operator {op}")
+
+
+def _numeric_binary(left: SQLValue, right: SQLValue, operation) -> SQLValue:
+    try:
+        left_number = float(left) if not is_numeric(left) else left
+        right_number = float(right) if not is_numeric(right) else right
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"arithmetic on non-numeric values {left!r}, {right!r}") from exc
+    result = operation(left_number, right_number)
+    if isinstance(left_number, int) and isinstance(right_number, int) and isinstance(result, int):
+        return result
+    if isinstance(result, float) and result.is_integer() and isinstance(left_number, int) and isinstance(right_number, int):
+        return int(result)
+    return result
+
+
+def _apply_unary(op: UnaryOperator, operand: SQLValue) -> SQLValue:
+    if operand is None:
+        return None
+    if op is UnaryOperator.NEG:
+        if not is_numeric(operand):
+            raise ExecutionError(f"cannot negate non-numeric value {operand!r}")
+        return -operand
+    if op is UnaryOperator.POS:
+        return operand
+    if op is UnaryOperator.NOT:
+        return not _is_true(operand)
+    raise ExecutionError(f"unsupported unary operator {op}")
+
+
+def _apply_cast(value: SQLValue, target_type: str) -> SQLValue:
+    from repro.engine.types import DataType, coerce_value
+
+    if value is None:
+        return None
+    return coerce_value(value, DataType.from_sql(target_type))
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    regex_parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            regex_parts.append(".*")
+        elif char == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(char))
+    regex = "^" + "".join(regex_parts) + "$"
+    return re.match(regex, value, flags=re.IGNORECASE) is not None
+
+
+def _hashable(value: SQLValue) -> object:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _row_key(row: tuple[SQLValue, ...]) -> tuple:
+    return tuple(_hashable(value) for value in row)
+
+
+def _distinct_rows(rows: list[tuple[SQLValue, ...]]) -> list[tuple[SQLValue, ...]]:
+    seen: set[tuple] = set()
+    unique: list[tuple[SQLValue, ...]] = []
+    for row in rows:
+        key = _row_key(row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def _null_aware_compare(left: SQLValue, right: SQLValue, item: OrderItem) -> int:
+    if left is None and right is None:
+        return 0
+    if left is None:
+        if item.nulls_first is True:
+            return -1
+        if item.nulls_first is False:
+            return 1
+        return -1 if item.ascending else 1
+    if right is None:
+        if item.nulls_first is True:
+            return 1
+        if item.nulls_first is False:
+            return -1
+        return 1 if item.ascending else -1
+    return compare_values(left, right)

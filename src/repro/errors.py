@@ -1,0 +1,94 @@
+"""Exception hierarchy shared across the repro library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch everything raised by the library with a single ``except`` clause while
+still being able to discriminate between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors (lexing, parsing, analysis)."""
+
+
+class LexError(SQLError):
+    """Raised when the SQL lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, position: int = -1, token: str | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+        self.token = token
+
+
+class AnalysisError(SQLError):
+    """Raised when semantic analysis of a parsed query fails."""
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine errors."""
+
+
+class CatalogError(EngineError):
+    """Raised for unknown tables/columns or duplicate definitions."""
+
+
+class ExecutionError(EngineError):
+    """Raised when query execution fails (type errors, bad references...)."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when an operation is applied to incompatible value types."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schema definitions or profile requests."""
+
+
+class RetrievalError(ReproError):
+    """Raised by the retrieval / vector-store subsystem."""
+
+
+class LLMError(ReproError):
+    """Raised by the simulated LLM subsystem."""
+
+
+class PipelineError(ReproError):
+    """Raised by the BenchPress annotation pipeline orchestration."""
+
+
+class ProjectError(ReproError):
+    """Raised for workspace/project management problems."""
+
+
+class IngestionError(ReproError):
+    """Raised when SQL logs or schema files cannot be ingested."""
+
+
+class StudyError(ReproError):
+    """Raised by the simulated user-study harness."""
+
+
+class WorkloadError(ReproError):
+    """Raised by synthetic workload generators."""
+
+
+class MetricError(ReproError):
+    """Raised when a metric cannot be computed on the provided inputs."""
+
+
+class ExportError(ReproError):
+    """Raised when exporting annotations to benchmark format fails."""

@@ -1,0 +1,27 @@
+"""Text-to-SQL model simulation and the Figure 1 execution-accuracy harness."""
+
+from repro.evaluation.figure1 import (
+    Figure1Result,
+    ModelBenchmarkScore,
+    evaluate_model_on_workload,
+    run_figure1,
+)
+from repro.evaluation.text2sql_models import (
+    GENERAL_MODELS,
+    SimulatedText2SQLModel,
+    TEXT2SQL_PROFILES,
+    Text2SQLProfile,
+    best_model_for,
+)
+
+__all__ = [
+    "Figure1Result",
+    "GENERAL_MODELS",
+    "ModelBenchmarkScore",
+    "SimulatedText2SQLModel",
+    "TEXT2SQL_PROFILES",
+    "Text2SQLProfile",
+    "best_model_for",
+    "evaluate_model_on_workload",
+    "run_figure1",
+]

@@ -1,0 +1,73 @@
+"""Evaluation metrics: text generation, execution, rubric, complexity, annotation."""
+
+from repro.metrics.annotation import (
+    ACCURACY_THRESHOLD,
+    AnnotationJudgement,
+    annotation_accuracy,
+    judge_annotation,
+    mean_coverage,
+)
+from repro.metrics.complexity import (
+    QuerySetProfile,
+    RelativeRow,
+    TABLE1_METRICS,
+    TABLE2_METRICS,
+    build_table1,
+    build_table2,
+    profile_databases,
+    profile_query_set,
+    relative_to_baseline,
+)
+from repro.metrics.execution import (
+    ExecutionComparison,
+    compare_execution,
+    execute_safely,
+    execution_accuracy,
+    results_match,
+)
+from repro.metrics.rubric import (
+    RubricJudgement,
+    grade_backtranslation,
+    level_distribution,
+    mean_level,
+)
+from repro.metrics.textgen import (
+    RougeScore,
+    bleu_score,
+    exact_match,
+    rouge_l,
+    rouge_n,
+    token_f1,
+)
+
+__all__ = [
+    "ACCURACY_THRESHOLD",
+    "AnnotationJudgement",
+    "ExecutionComparison",
+    "QuerySetProfile",
+    "RelativeRow",
+    "RougeScore",
+    "RubricJudgement",
+    "TABLE1_METRICS",
+    "TABLE2_METRICS",
+    "annotation_accuracy",
+    "bleu_score",
+    "build_table1",
+    "build_table2",
+    "compare_execution",
+    "exact_match",
+    "execute_safely",
+    "execution_accuracy",
+    "grade_backtranslation",
+    "judge_annotation",
+    "level_distribution",
+    "mean_coverage",
+    "mean_level",
+    "profile_databases",
+    "profile_query_set",
+    "relative_to_baseline",
+    "results_match",
+    "rouge_l",
+    "rouge_n",
+    "token_f1",
+]

@@ -1,0 +1,147 @@
+"""Aggregated complexity metrics across query sets and databases.
+
+Produces the rows of the paper's Table 1 (query-level metrics) and Table 2
+(data-level metrics), including the relative-difference formatting the paper
+uses (percent change of each benchmark with respect to the Beaver DW
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.errors import MetricError
+from repro.schema.profiler import DataProfile, profile_database
+from repro.sql.analyzer import analyze_query
+
+
+#: Column order of Table 1.
+TABLE1_METRICS: tuple[str, ...] = (
+    "keywords",
+    "tokens",
+    "tables",
+    "columns",
+    "aggregations",
+    "nestings",
+)
+
+#: Column order of Table 2.
+TABLE2_METRICS: tuple[str, ...] = (
+    "columns_per_table",
+    "rows_per_table",
+    "tables_per_db",
+    "uniqueness",
+    "sparsity",
+    "data_types",
+)
+
+
+@dataclass
+class QuerySetProfile:
+    """Average query-level complexity metrics of one benchmark's query set."""
+
+    name: str
+    query_count: int
+    averages: dict[str, float] = field(default_factory=dict)
+    parse_failures: int = 0
+
+    def metric(self, key: str) -> float:
+        """Fetch one averaged metric."""
+        return self.averages[key]
+
+
+def profile_query_set(name: str, queries: list[str]) -> QuerySetProfile:
+    """Average the Table 1 metrics over a list of SQL queries.
+
+    Queries that fail to parse are counted in ``parse_failures`` and excluded
+    from the averages (real logs always contain some noise).
+    """
+    if not queries:
+        raise MetricError(f"query set {name!r} is empty")
+    totals = {key: 0.0 for key in TABLE1_METRICS}
+    parsed = 0
+    failures = 0
+    for sql in queries:
+        try:
+            profile = analyze_query(sql)
+        except Exception:
+            failures += 1
+            continue
+        parsed += 1
+        metrics = profile.complexity.as_dict()
+        for key in TABLE1_METRICS:
+            totals[key] += metrics[key]
+    if parsed == 0:
+        raise MetricError(f"no query in set {name!r} could be parsed")
+    averages = {key: totals[key] / parsed for key in TABLE1_METRICS}
+    return QuerySetProfile(name=name, query_count=parsed, averages=averages, parse_failures=failures)
+
+
+@dataclass
+class RelativeRow:
+    """One benchmark row expressed relative to a baseline (arrow semantics of the paper)."""
+
+    name: str
+    relative: dict[str, float] = field(default_factory=dict)
+
+    def arrow(self, key: str) -> str:
+        """The paper's arrow notation for one metric."""
+        value = self.relative[key]
+        if value == 0:
+            return "0.0%"
+        symbol = "UP" if value > 0 else "DOWN"
+        return f"{symbol} {abs(value) * 100:.1f}%"
+
+
+def relative_to_baseline(
+    baseline: dict[str, float], other: dict[str, float], metrics: tuple[str, ...]
+) -> dict[str, float]:
+    """Signed relative difference of ``other`` vs ``baseline`` for each metric."""
+    relative: dict[str, float] = {}
+    for key in metrics:
+        base = baseline[key]
+        value = other[key]
+        relative[key] = 0.0 if base == 0 else (value - base) / base
+    return relative
+
+
+def build_table1(profiles: dict[str, QuerySetProfile], baseline_name: str) -> list[RelativeRow]:
+    """Build Table 1 rows: the baseline first (absolute), others relative to it."""
+    if baseline_name not in profiles:
+        raise MetricError(f"baseline {baseline_name!r} missing from profiles")
+    baseline = profiles[baseline_name]
+    rows = [RelativeRow(name=baseline_name, relative={key: 0.0 for key in TABLE1_METRICS})]
+    for name, profile in profiles.items():
+        if name == baseline_name:
+            continue
+        rows.append(
+            RelativeRow(
+                name=name,
+                relative=relative_to_baseline(baseline.averages, profile.averages, TABLE1_METRICS),
+            )
+        )
+    return rows
+
+
+def profile_databases(databases: dict[str, Database]) -> dict[str, DataProfile]:
+    """Profile each benchmark database (Table 2 inputs)."""
+    return {name: profile_database(database) for name, database in databases.items()}
+
+
+def build_table2(profiles: dict[str, DataProfile], baseline_name: str) -> list[RelativeRow]:
+    """Build Table 2 rows relative to the baseline database."""
+    if baseline_name not in profiles:
+        raise MetricError(f"baseline {baseline_name!r} missing from profiles")
+    baseline = profiles[baseline_name].as_dict()
+    rows = [RelativeRow(name=baseline_name, relative={key: 0.0 for key in TABLE2_METRICS})]
+    for name, profile in profiles.items():
+        if name == baseline_name:
+            continue
+        rows.append(
+            RelativeRow(
+                name=name,
+                relative=relative_to_baseline(baseline, profile.as_dict(), TABLE2_METRICS),
+            )
+        )
+    return rows

@@ -1,0 +1,134 @@
+"""Execution-based SQL metrics.
+
+Execution accuracy — "whether the result of executing the predicted SQL query
+matches that of the gold SQL" — is the headline metric of Figure 1.  The
+comparison is performed on our in-memory engine: both queries run against the
+same populated database and their result multisets are compared (order-
+insensitive unless the gold query specifies ORDER BY).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.engine.executor import QueryResult
+from repro.engine.types import values_equal
+from repro.errors import ReproError
+from repro.sql.parser import parse_select
+
+
+@dataclass
+class ExecutionComparison:
+    """Outcome of executing and comparing a predicted query against gold."""
+
+    gold_executed: bool
+    predicted_executed: bool
+    match: bool
+    gold_rows: int = 0
+    predicted_rows: int = 0
+    error: str = ""
+
+
+def execute_safely(database: Database, sql: str | None) -> tuple[QueryResult | None, str]:
+    """Execute SQL, returning ``(result, error_message)`` instead of raising."""
+    if sql is None or not str(sql).strip():
+        return None, "empty query"
+    try:
+        return database.execute(sql), ""
+    except ReproError as exc:
+        return None, str(exc)
+    except Exception as exc:  # pragma: no cover - defensive
+        return None, f"unexpected error: {exc}"
+
+
+def _normalise_cell(value: object) -> object:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def _row_multiset(result: QueryResult) -> dict[tuple, int]:
+    counts: dict[tuple, int] = {}
+    for row in result.rows:
+        key = tuple(_normalise_cell(value) for value in row)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def results_match(gold: QueryResult, predicted: QueryResult, ordered: bool = False) -> bool:
+    """Compare two result sets.
+
+    ``ordered`` enforces row order (used when the gold query has ORDER BY);
+    otherwise rows are compared as multisets.  Column names are ignored —
+    only values matter, mirroring the execution-accuracy convention of
+    Spider/Bird.
+    """
+    if len(gold.rows) != len(predicted.rows):
+        return False
+    if gold.rows and len(gold.rows[0]) != len(predicted.rows[0]):
+        return False
+    if ordered:
+        return all(
+            len(gold_row) == len(predicted_row)
+            and all(values_equal(_normalise_cell(g), _normalise_cell(p))
+                    for g, p in zip(gold_row, predicted_row))
+            for gold_row, predicted_row in zip(gold.rows, predicted.rows)
+        )
+    return _row_multiset(gold) == _row_multiset(predicted)
+
+
+def compare_execution(
+    database: Database, gold_sql: str, predicted_sql: str | None
+) -> ExecutionComparison:
+    """Execute gold and predicted SQL and compare their results."""
+    gold_result, gold_error = execute_safely(database, gold_sql)
+    predicted_result, predicted_error = execute_safely(database, predicted_sql)
+
+    if gold_result is None:
+        return ExecutionComparison(
+            gold_executed=False,
+            predicted_executed=predicted_result is not None,
+            match=False,
+            error=f"gold query failed: {gold_error}",
+        )
+    if predicted_result is None:
+        return ExecutionComparison(
+            gold_executed=True,
+            predicted_executed=False,
+            match=False,
+            gold_rows=len(gold_result.rows),
+            error=predicted_error,
+        )
+
+    ordered = _gold_is_ordered(gold_sql)
+    match = results_match(gold_result, predicted_result, ordered=ordered)
+    return ExecutionComparison(
+        gold_executed=True,
+        predicted_executed=True,
+        match=match,
+        gold_rows=len(gold_result.rows),
+        predicted_rows=len(predicted_result.rows),
+    )
+
+
+def _gold_is_ordered(gold_sql: str) -> bool:
+    try:
+        return bool(parse_select(gold_sql).order_by)
+    except Exception:
+        return False
+
+
+def execution_accuracy(
+    database: Database, pairs: list[tuple[str, str | None]]
+) -> float:
+    """Fraction of (gold, predicted) pairs whose execution results match."""
+    if not pairs:
+        return 0.0
+    matches = sum(
+        1 for gold_sql, predicted_sql in pairs
+        if compare_execution(database, gold_sql, predicted_sql).match
+    )
+    return matches / len(pairs)

@@ -1,0 +1,122 @@
+"""Text-generation metrics: BLEU, ROUGE and exact match.
+
+The paper's review/export step (step 7) evaluates outputs against ground-truth
+annotations with automatic metrics such as exact match and BLEU, and the user
+study quantifies quality with ROUGE similarity; these are self-contained
+implementations of those metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.retrieval.text import tokenize_text
+
+
+def exact_match(prediction: str, reference: str, normalize: bool = True) -> bool:
+    """Exact-match comparison, optionally on normalised token sequences."""
+    if not normalize:
+        return prediction == reference
+    return tokenize_text(prediction) == tokenize_text(reference)
+
+
+def _ngram_counts(tokens: list[str], order: int) -> Counter:
+    return Counter(tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1))
+
+
+def bleu_score(prediction: str, reference: str, max_order: int = 4) -> float:
+    """Sentence-level BLEU with uniform n-gram weights and brevity penalty.
+
+    Uses add-one smoothing on higher-order precisions (Lin & Och smoothing),
+    which keeps short sentences from collapsing to zero.
+    """
+    prediction_tokens = tokenize_text(prediction)
+    reference_tokens = tokenize_text(reference)
+    if not prediction_tokens or not reference_tokens:
+        return 0.0
+
+    log_precision_sum = 0.0
+    for order in range(1, max_order + 1):
+        prediction_ngrams = _ngram_counts(prediction_tokens, order)
+        reference_ngrams = _ngram_counts(reference_tokens, order)
+        overlap = sum((prediction_ngrams & reference_ngrams).values())
+        total = max(1, sum(prediction_ngrams.values()))
+        if order == 1:
+            precision = overlap / total
+            if precision == 0.0:
+                return 0.0
+        else:
+            precision = (overlap + 1.0) / (total + 1.0)
+        log_precision_sum += math.log(precision)
+
+    geometric_mean = math.exp(log_precision_sum / max_order)
+    brevity_penalty = 1.0
+    if len(prediction_tokens) < len(reference_tokens):
+        brevity_penalty = math.exp(1.0 - len(reference_tokens) / len(prediction_tokens))
+    return brevity_penalty * geometric_mean
+
+
+@dataclass
+class RougeScore:
+    """Precision/recall/F1 triple for a ROUGE variant."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def rouge_n(prediction: str, reference: str, order: int = 1) -> RougeScore:
+    """ROUGE-N overlap score."""
+    prediction_tokens = tokenize_text(prediction)
+    reference_tokens = tokenize_text(reference)
+    if len(prediction_tokens) < order or len(reference_tokens) < order:
+        return RougeScore(0.0, 0.0, 0.0)
+    prediction_ngrams = _ngram_counts(prediction_tokens, order)
+    reference_ngrams = _ngram_counts(reference_tokens, order)
+    overlap = sum((prediction_ngrams & reference_ngrams).values())
+    precision = overlap / max(1, sum(prediction_ngrams.values()))
+    recall = overlap / max(1, sum(reference_ngrams.values()))
+    f1 = 0.0 if precision + recall == 0 else 2 * precision * recall / (precision + recall)
+    return RougeScore(precision=precision, recall=recall, f1=f1)
+
+
+def _lcs_length(left: list[str], right: list[str]) -> int:
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for left_token in left:
+        current = [0] * (len(right) + 1)
+        for index, right_token in enumerate(right, start=1):
+            if left_token == right_token:
+                current[index] = previous[index - 1] + 1
+            else:
+                current[index] = max(previous[index], current[index - 1])
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(prediction: str, reference: str) -> RougeScore:
+    """ROUGE-L (longest common subsequence) score."""
+    prediction_tokens = tokenize_text(prediction)
+    reference_tokens = tokenize_text(reference)
+    if not prediction_tokens or not reference_tokens:
+        return RougeScore(0.0, 0.0, 0.0)
+    lcs = _lcs_length(prediction_tokens, reference_tokens)
+    precision = lcs / len(prediction_tokens)
+    recall = lcs / len(reference_tokens)
+    f1 = 0.0 if precision + recall == 0 else 2 * precision * recall / (precision + recall)
+    return RougeScore(precision=precision, recall=recall, f1=f1)
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """Bag-of-tokens F1 (order-insensitive overlap)."""
+    prediction_counts = Counter(tokenize_text(prediction))
+    reference_counts = Counter(tokenize_text(reference))
+    overlap = sum((prediction_counts & reference_counts).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(prediction_counts.values())
+    recall = overlap / sum(reference_counts.values())
+    return 2 * precision * recall / (precision + recall)

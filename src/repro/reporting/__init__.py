@@ -1,0 +1,21 @@
+"""Text renderers for the paper's tables and figures."""
+
+from repro.reporting.tables import (
+    format_table,
+    render_figure1,
+    render_figure4,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "format_table",
+    "render_figure1",
+    "render_figure4",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,102 @@
+"""Deterministic text embeddings (Sentence-BERT stand-in).
+
+The paper retrieves semantically similar SQL queries and annotations using
+dense Sentence-BERT embeddings.  Offline we substitute a deterministic
+hashed bag-of-features embedding:
+
+* word tokens (identifier-aware) and character trigrams are hashed into a
+  fixed-dimensional vector ("feature hashing"),
+* features are weighted by an inverse-document-frequency table that the
+  :class:`EmbeddingModel` updates as documents are added,
+* vectors are L2-normalised so cosine similarity is a dot product.
+
+This preserves exactly the property RAG needs — lexically/structurally
+similar SQL or NL ends up close together — while being dependency-free and
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.retrieval.text import character_ngrams, tokenize_text
+
+
+def _stable_hash(feature: str) -> int:
+    """Stable (process-independent) hash of a feature string."""
+    digest = hashlib.blake2b(feature.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class EmbeddingModel:
+    """Hashed bag-of-features embedder with incremental IDF weighting.
+
+    Attributes:
+        dimensions: Size of the output vectors.
+        use_ngrams: Whether to add character trigram features (helps match
+            abbreviations such as ``acad_term`` vs "academic term").
+    """
+
+    dimensions: int = 256
+    use_ngrams: bool = True
+    _document_count: int = 0
+    _document_frequency: dict[str, int] = field(default_factory=dict)
+
+    def features(self, text: str) -> list[str]:
+        """Extract the feature strings for a text."""
+        features = [f"w:{token}" for token in tokenize_text(text)]
+        if self.use_ngrams:
+            features.extend(f"g:{gram}" for gram in character_ngrams(text, 3))
+        return features
+
+    def observe(self, text: str) -> None:
+        """Update document-frequency statistics with one document."""
+        self._document_count += 1
+        for feature in set(self.features(text)):
+            self._document_frequency[feature] = self._document_frequency.get(feature, 0) + 1
+
+    def _idf(self, feature: str) -> float:
+        if self._document_count == 0:
+            return 1.0
+        frequency = self._document_frequency.get(feature, 0)
+        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a text into a normalised dense vector."""
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        features = self.features(text)
+        if not features:
+            return vector
+        counts: dict[str, int] = {}
+        for feature in features:
+            counts[feature] = counts.get(feature, 0) + 1
+        for feature, count in counts.items():
+            weight = (1.0 + math.log(count)) * self._idf(feature)
+            hashed = _stable_hash(feature)
+            index = hashed % self.dimensions
+            sign = 1.0 if (hashed >> 32) % 2 == 0 else -1.0
+            vector[index] += sign * weight
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed several texts; returns an array of shape (len(texts), dimensions)."""
+        if not texts:
+            return np.zeros((0, self.dimensions), dtype=np.float64)
+        return np.vstack([self.embed(text) for text in texts])
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0.0 when either is zero)."""
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / (left_norm * right_norm))

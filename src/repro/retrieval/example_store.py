@@ -1,0 +1,118 @@
+"""Store of annotated (SQL, NL) examples that grows during a session.
+
+The paper's retrieval step uses "prior annotated queries (which naturally grow
+over time)" as few-shot examples.  The example store starts empty (the
+cold-start condition described in §5.1) and accumulates accepted annotations
+as the annotation loop progresses; it can also be seeded from a public
+benchmark when warm-starting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RetrievalError
+from repro.retrieval.embedding import EmbeddingModel
+from repro.retrieval.vector_store import SearchHit, VectorStore
+from repro.sql.normalizer import query_skeleton
+
+
+@dataclass
+class AnnotatedExample:
+    """One accepted (SQL, NL) pair."""
+
+    example_id: str
+    sql: str
+    nl: str
+    dataset: str = ""
+    tables: list[str] = field(default_factory=list)
+    quality: float = 1.0
+
+
+class ExampleStore:
+    """Vector-indexed store of accepted annotations."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self._store = VectorStore(model)
+        self._examples: dict[str, AnnotatedExample] = {}
+        self._skeletons: dict[str, str] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    @property
+    def is_empty(self) -> bool:
+        """True while in the cold-start condition (no prior annotations)."""
+        return not self._examples
+
+    def add(self, sql: str, nl: str, dataset: str = "", tables: list[str] | None = None,
+            quality: float = 1.0) -> AnnotatedExample:
+        """Add an accepted annotation and return the stored example."""
+        if not sql.strip() or not nl.strip():
+            raise RetrievalError("both SQL and NL must be non-empty to store an example")
+        self._counter += 1
+        example_id = f"ex-{self._counter:05d}"
+        example = AnnotatedExample(
+            example_id=example_id,
+            sql=sql.strip(),
+            nl=nl.strip(),
+            dataset=dataset,
+            tables=list(tables or []),
+            quality=quality,
+        )
+        self._examples[example_id] = example
+        self._skeletons[example_id] = query_skeleton(sql)
+        # Index on the SQL text plus the NL so either side retrieves the pair.
+        self._store.add(
+            example_id,
+            f"{example.sql}\n{example.nl}",
+            metadata={"dataset": dataset, "quality": quality},
+        )
+        return example
+
+    def get(self, example_id: str) -> AnnotatedExample:
+        """Fetch a stored example by id."""
+        if example_id not in self._examples:
+            raise RetrievalError(f"unknown example id {example_id!r}")
+        return self._examples[example_id]
+
+    def all_examples(self) -> list[AnnotatedExample]:
+        """All stored examples in insertion order."""
+        return list(self._examples.values())
+
+    def retrieve(
+        self,
+        sql: str,
+        top_k: int = 3,
+        dataset: str | None = None,
+        exclude_identical: bool = True,
+    ) -> list[AnnotatedExample]:
+        """Return the ``top_k`` most similar prior annotations for a query.
+
+        ``exclude_identical`` drops examples whose literal-free skeleton equals
+        the query's skeleton, so the store never leaks the gold answer for the
+        exact query being annotated.
+        """
+        if self.is_empty:
+            return []
+        metadata_filter = {"dataset": dataset} if dataset else None
+        skeleton = query_skeleton(sql)
+        hits: list[SearchHit] = self._store.search(
+            sql, top_k=top_k + 5, metadata_filter=metadata_filter
+        )
+        results: list[AnnotatedExample] = []
+        for hit in hits:
+            example = self._examples[hit.doc_id]
+            if exclude_identical and self._skeletons[hit.doc_id] == skeleton:
+                continue
+            results.append(example)
+            if len(results) >= top_k:
+                break
+        return results
+
+    def seed_from_pairs(self, pairs: list[tuple[str, str]], dataset: str = "seed") -> int:
+        """Warm-start the store from existing (SQL, NL) pairs; returns the count."""
+        for sql, nl in pairs:
+            self.add(sql, nl, dataset=dataset)
+        return len(pairs)

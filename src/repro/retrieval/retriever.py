@@ -1,0 +1,126 @@
+"""Context retrieval for candidate generation (paper step 4).
+
+For each SQL query (or decomposed subquery) BenchPress retrieves:
+
+* semantically similar prior annotated examples (few-shot guidance), and
+* the relevant schema tables *with all their columns* — via SQL parsing when
+  the query parses, falling back to embedding/token similarity otherwise.
+
+The combined context grounds the LLM's output in both content and structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.retrieval.example_store import AnnotatedExample, ExampleStore
+from repro.schema.linking import link_sql_to_schema, link_text_to_schema
+from repro.schema.model import DatabaseSchema, TableSchema
+
+
+@dataclass
+class RetrievedContext:
+    """Everything the prompt builder needs for one query."""
+
+    sql: str
+    tables: list[TableSchema] = field(default_factory=list)
+    examples: list[AnnotatedExample] = field(default_factory=list)
+    ambiguous_columns: dict[str, list[str]] = field(default_factory=dict)
+    unresolved_tables: list[str] = field(default_factory=list)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of the retrieved tables."""
+        return [table.name for table in self.tables]
+
+    def schema_text(self) -> str:
+        """Schema context rendered for the prompt."""
+        lines = []
+        for table in self.tables:
+            columns = ", ".join(column.render() for column in table.columns)
+            lines.append(f"TABLE {table.name} ({columns})")
+        return "\n".join(lines)
+
+
+class ContextRetriever:
+    """Combines schema linking and example retrieval into one context object."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        example_store: ExampleStore | None = None,
+        top_k_examples: int = 3,
+        max_tables: int = 8,
+    ) -> None:
+        self._schema = schema
+        self._example_store = example_store or ExampleStore()
+        self.top_k_examples = top_k_examples
+        self.max_tables = max_tables
+
+    @property
+    def example_store(self) -> ExampleStore:
+        """The underlying example store (grows as annotations are accepted)."""
+        return self._example_store
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The schema this retriever serves."""
+        return self._schema
+
+    def retrieve(self, sql: str, dataset: str | None = None) -> RetrievedContext:
+        """Build the retrieval context for one SQL query."""
+        tables, unresolved = self._relevant_tables(sql)
+        examples = self._example_store.retrieve(
+            sql, top_k=self.top_k_examples, dataset=dataset
+        )
+        ambiguous = self._ambiguous_among(tables)
+        return RetrievedContext(
+            sql=sql,
+            tables=tables,
+            examples=examples,
+            ambiguous_columns=ambiguous,
+            unresolved_tables=unresolved,
+        )
+
+    def record_annotation(
+        self, sql: str, nl: str, dataset: str = "", quality: float = 1.0
+    ) -> AnnotatedExample:
+        """Store an accepted annotation so future retrievals can use it."""
+        tables, _ = self._relevant_tables(sql)
+        return self._example_store.add(
+            sql, nl, dataset=dataset, tables=[table.name for table in tables], quality=quality
+        )
+
+    # ------------------------------------------------------------------
+
+    def _relevant_tables(self, sql: str) -> tuple[list[TableSchema], list[str]]:
+        try:
+            linking = link_sql_to_schema(sql, self._schema)
+        except Exception:
+            linking = link_text_to_schema(sql, self._schema, max_tables=self.max_tables)
+        tables: list[TableSchema] = []
+        seen: set[str] = set()
+        for name in linking.tables:
+            key = name.lower()
+            if key in seen:
+                continue
+            seen.add(key)
+            tables.append(self._schema.table(name))
+            if len(tables) >= self.max_tables:
+                break
+        if not tables:
+            # Fall back to lexical matching over the raw SQL text.
+            fallback = link_text_to_schema(sql, self._schema, max_tables=self.max_tables)
+            for name in fallback.tables:
+                key = name.lower()
+                if key not in seen:
+                    seen.add(key)
+                    tables.append(self._schema.table(name))
+        return tables, linking.unresolved_tables
+
+    def _ambiguous_among(self, tables: list[TableSchema]) -> dict[str, list[str]]:
+        owners: dict[str, list[str]] = {}
+        for table in tables:
+            for column in table.columns:
+                owners.setdefault(column.name.lower(), []).append(table.name)
+        return {name: tabs for name, tabs in owners.items() if len(tabs) > 1}

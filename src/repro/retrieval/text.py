@@ -1,0 +1,85 @@
+"""Text normalisation and tokenisation shared by retrieval and metrics."""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|\d+(?:\.\d+)?")
+_CAMEL_SPLIT = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+#: Words carrying little semantic weight for similarity purposes.
+STOPWORDS: frozenset[str] = frozenset(
+    {
+        "a",
+        "an",
+        "the",
+        "of",
+        "in",
+        "on",
+        "for",
+        "to",
+        "and",
+        "or",
+        "is",
+        "are",
+        "was",
+        "were",
+        "be",
+        "by",
+        "with",
+        "as",
+        "at",
+        "that",
+        "this",
+        "it",
+        "from",
+        "select",
+        "where",
+        "group",
+        "order",
+    }
+)
+
+
+def tokenize_text(text: str, remove_stopwords: bool = False) -> list[str]:
+    """Tokenise arbitrary text (NL or SQL) into lower-case word tokens.
+
+    Identifiers in snake_case or CamelCase are split into their constituent
+    words so ``MOIRA_LIST_NAME`` and "Moira list name" share tokens.
+    """
+    tokens: list[str] = []
+    for match in _WORD.finditer(text):
+        word = match.group(0)
+        decamel = _CAMEL_SPLIT.sub(" ", word)
+        for part in re.split(r"[_\s]+", decamel):
+            part = part.lower()
+            if not part:
+                continue
+            if remove_stopwords and part in STOPWORDS:
+                continue
+            tokens.append(part)
+    return tokens
+
+
+def character_ngrams(text: str, n: int = 3) -> list[str]:
+    """Character n-grams of the lower-cased text (robust to abbreviations)."""
+    compact = re.sub(r"\s+", " ", text.lower()).strip()
+    if len(compact) < n:
+        return [compact] if compact else []
+    return [compact[i : i + n] for i in range(len(compact) - n + 1)]
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def sentence_case(text: str) -> str:
+    """Capitalise the first letter and ensure terminal punctuation."""
+    cleaned = normalize_whitespace(text)
+    if not cleaned:
+        return cleaned
+    cleaned = cleaned[0].upper() + cleaned[1:]
+    if cleaned[-1] not in ".?!":
+        cleaned += "."
+    return cleaned

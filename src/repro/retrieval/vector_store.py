@@ -1,0 +1,126 @@
+"""A small in-memory vector store with cosine top-k search.
+
+BenchPress stores uploaded SQL logs and accumulated annotations server-side so
+RAG has global access to all documents (paper step 2); this class plays that
+role for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RetrievalError
+from repro.retrieval.embedding import EmbeddingModel
+
+
+@dataclass
+class VectorEntry:
+    """One stored document."""
+
+    doc_id: str
+    text: str
+    vector: np.ndarray
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SearchHit:
+    """One search result."""
+
+    doc_id: str
+    text: str
+    score: float
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class VectorStore:
+    """Embeds and indexes documents, supports filtered top-k cosine search."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self._model = model or EmbeddingModel()
+        self._entries: dict[str, VectorEntry] = {}
+
+    @property
+    def model(self) -> EmbeddingModel:
+        """The embedding model used by this store."""
+        return self._model
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._entries
+
+    def add(self, doc_id: str, text: str, metadata: dict[str, object] | None = None) -> None:
+        """Add (or replace) a document."""
+        if not doc_id:
+            raise RetrievalError("document id must be non-empty")
+        self._model.observe(text)
+        self._entries[doc_id] = VectorEntry(
+            doc_id=doc_id,
+            text=text,
+            vector=self._model.embed(text),
+            metadata=dict(metadata or {}),
+        )
+
+    def add_many(self, documents: list[tuple[str, str, dict[str, object]]]) -> None:
+        """Add several ``(doc_id, text, metadata)`` documents."""
+        for doc_id, text, metadata in documents:
+            self.add(doc_id, text, metadata)
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document; unknown ids raise."""
+        if doc_id not in self._entries:
+            raise RetrievalError(f"unknown document id {doc_id!r}")
+        del self._entries[doc_id]
+
+    def get(self, doc_id: str) -> VectorEntry:
+        """Fetch a stored document."""
+        if doc_id not in self._entries:
+            raise RetrievalError(f"unknown document id {doc_id!r}")
+        return self._entries[doc_id]
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Return the ``top_k`` most similar documents to ``query``.
+
+        ``metadata_filter`` keeps only documents whose metadata contains every
+        given key/value pair; ``exclude_ids`` removes specific documents (used
+        to avoid retrieving the query itself during leave-one-out evaluation).
+        """
+        if top_k <= 0 or not self._entries:
+            return []
+        query_vector = self._model.embed(query)
+        hits: list[SearchHit] = []
+        for entry in self._entries.values():
+            if exclude_ids and entry.doc_id in exclude_ids:
+                continue
+            if metadata_filter and any(
+                entry.metadata.get(key) != value for key, value in metadata_filter.items()
+            ):
+                continue
+            score = float(np.dot(query_vector, entry.vector))
+            if score < min_score:
+                continue
+            hits.append(
+                SearchHit(
+                    doc_id=entry.doc_id,
+                    text=entry.text,
+                    score=score,
+                    metadata=dict(entry.metadata),
+                )
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:top_k]
+
+    def all_ids(self) -> list[str]:
+        """Ids of every stored document."""
+        return list(self._entries.keys())

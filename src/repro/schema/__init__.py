@@ -1,0 +1,43 @@
+"""Schema model, DDL ingestion, profiling, and schema linking."""
+
+from repro.schema.ddl_parser import parse_ddl_script
+from repro.schema.linking import (
+    LinkingResult,
+    SchemaLink,
+    ambiguous_column_names,
+    link_sql_to_schema,
+    link_text_to_schema,
+    split_identifier,
+)
+from repro.schema.model import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+    schema_from_database,
+)
+from repro.schema.profiler import (
+    DataProfile,
+    profile_database,
+    profile_schema,
+    relative_difference,
+)
+
+__all__ = [
+    "ColumnSchema",
+    "DataProfile",
+    "DatabaseSchema",
+    "ForeignKey",
+    "LinkingResult",
+    "SchemaLink",
+    "TableSchema",
+    "ambiguous_column_names",
+    "link_sql_to_schema",
+    "link_text_to_schema",
+    "parse_ddl_script",
+    "profile_database",
+    "profile_schema",
+    "relative_difference",
+    "schema_from_database",
+    "split_identifier",
+]

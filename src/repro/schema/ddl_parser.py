@@ -1,0 +1,72 @@
+"""Parse DDL scripts into :class:`~repro.schema.model.DatabaseSchema` objects.
+
+Dataset ingestion (paper step 2) accepts schema files as ``CREATE TABLE``
+scripts; this module converts them into the logical schema model used by the
+rest of the system.  It re-uses the SQL parser rather than implementing a
+second grammar.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IngestionError
+from repro.schema.model import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
+from repro.sql.ast_nodes import CreateTable
+from repro.sql.parser import parse_many
+
+
+def parse_ddl_script(ddl: str, schema_name: str = "uploaded") -> DatabaseSchema:
+    """Parse a DDL script (one or more CREATE TABLE statements) into a schema.
+
+    Non-DDL statements in the script are ignored so users can upload mixed
+    dumps.  Raises :class:`IngestionError` when the script contains no tables.
+    """
+    try:
+        statements = parse_many(ddl)
+    except Exception as exc:
+        raise IngestionError(f"could not parse schema DDL: {exc}") from exc
+
+    schema = DatabaseSchema(name=schema_name)
+    for statement in statements:
+        if isinstance(statement, CreateTable):
+            schema.add_table(_table_from_create(statement))
+    if not schema.tables:
+        raise IngestionError("schema DDL contained no CREATE TABLE statements")
+    return schema
+
+
+def _table_from_create(statement: CreateTable) -> TableSchema:
+    pk_columns = {name.lower() for name in statement.primary_key}
+    columns: list[ColumnSchema] = []
+    foreign_keys: list[ForeignKey] = []
+
+    for column_def in statement.columns:
+        columns.append(
+            ColumnSchema(
+                name=column_def.name,
+                type_name=column_def.type_name,
+                nullable=not (column_def.not_null or column_def.primary_key),
+                primary_key=column_def.primary_key or column_def.name.lower() in pk_columns,
+            )
+        )
+        if column_def.references is not None:
+            ref_table, ref_column = column_def.references
+            foreign_keys.append(
+                ForeignKey(
+                    column=column_def.name,
+                    referenced_table=ref_table,
+                    referenced_column=ref_column or column_def.name,
+                )
+            )
+
+    for local_columns, ref_table, ref_columns in statement.foreign_keys:
+        for index, local_column in enumerate(local_columns):
+            referenced = ref_columns[index] if index < len(ref_columns) else local_column
+            foreign_keys.append(
+                ForeignKey(
+                    column=local_column,
+                    referenced_table=ref_table,
+                    referenced_column=referenced,
+                )
+            )
+
+    return TableSchema(name=statement.name, columns=columns, foreign_keys=foreign_keys)

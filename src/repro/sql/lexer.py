@@ -1,0 +1,190 @@
+"""SQL lexer.
+
+Turns SQL source text into a list of :class:`~repro.sql.tokens.Token` objects.
+Supports:
+
+* single-quoted string literals with ``''`` escaping,
+* double-quoted and backtick-quoted identifiers,
+* integer and decimal numeric literals (including scientific notation),
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* multi-character comparison operators and string concatenation ``||``,
+* named (``:name``) and positional (``?``) parameters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION_CHARS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Converts SQL text into tokens.
+
+    Example:
+        >>> Lexer("SELECT 1").tokenize()[0].value
+        'SELECT'
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+        self._line = 1
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the entire input and return the token list (without EOF)."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= self._length:
+                break
+            tokens.append(self._next_token())
+        return tokens
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= self._length:
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < self._length and self._text[self._pos] == "\n":
+                self._line += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char.isspace():
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < self._length and self._text[self._pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < self._length and not (
+                    self._text[self._pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._pos >= self._length:
+                    raise LexError("unterminated block comment", self._pos, self._line)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        char = self._text[self._pos]
+        start = self._pos
+        line = self._line
+
+        if char == "'":
+            return self._lex_string(start, line)
+        if char == '"' or char == "`":
+            return self._lex_quoted_identifier(char, start, line)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(start, line)
+        if char.isalpha() or char == "_":
+            return self._lex_word(start, line)
+        if char == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            return self._lex_parameter(start, line)
+        if char == "?":
+            self._advance()
+            return Token(TokenKind.PARAMETER, "?", start, line)
+
+        for op in MULTI_CHAR_OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                value = "<>" if op == "!=" else op
+                return Token(TokenKind.OPERATOR, value, start, line)
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, char, start, line)
+        if char in PUNCTUATION_CHARS:
+            self._advance()
+            return Token(TokenKind.PUNCTUATION, char, start, line)
+
+        raise LexError(f"unexpected character {char!r}", start, line)
+
+    def _lex_string(self, start: int, line: int) -> Token:
+        self._advance()  # opening quote
+        chunks: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise LexError("unterminated string literal", start, line)
+            char = self._text[self._pos]
+            if char == "'":
+                if self._peek(1) == "'":
+                    chunks.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            chunks.append(char)
+            self._advance()
+        return Token(TokenKind.STRING, "".join(chunks), start, line)
+
+    def _lex_quoted_identifier(self, quote: str, start: int, line: int) -> Token:
+        self._advance()
+        chunks: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise LexError("unterminated quoted identifier", start, line)
+            char = self._text[self._pos]
+            if char == quote:
+                self._advance()
+                break
+            chunks.append(char)
+            self._advance()
+        return Token(TokenKind.QUOTED_IDENTIFIER, "".join(chunks), start, line)
+
+    def _lex_number(self, start: int, line: int) -> Token:
+        while self._pos < self._length and (self._text[self._pos].isdigit() or self._text[self._pos] == "."):
+            self._advance()
+        if self._pos < self._length and self._text[self._pos] in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead).isdigit():
+                self._advance(lookahead)
+                while self._pos < self._length and self._text[self._pos].isdigit():
+                    self._advance()
+        value = self._text[start : self._pos]
+        if value.count(".") > 1:
+            raise LexError(f"malformed number {value!r}", start, line)
+        return Token(TokenKind.NUMBER, value, start, line)
+
+    def _lex_word(self, start: int, line: int) -> Token:
+        while self._pos < self._length and (
+            self._text[self._pos].isalnum() or self._text[self._pos] in ("_", "$")
+        ):
+            self._advance()
+        raw = self._text[start : self._pos]
+        upper = raw.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, start, line)
+        return Token(TokenKind.IDENTIFIER, raw, start, line)
+
+    def _lex_parameter(self, start: int, line: int) -> Token:
+        self._advance()  # ':'
+        while self._pos < self._length and (
+            self._text[self._pos].isalnum() or self._text[self._pos] == "_"
+        ):
+            self._advance()
+        return Token(TokenKind.PARAMETER, self._text[start : self._pos], start, line)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text.  Convenience wrapper around :class:`Lexer`."""
+    return Lexer(sql).tokenize()

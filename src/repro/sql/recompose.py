@@ -1,0 +1,107 @@
+"""Recomposition of subquery-level NL descriptions (paper step 5.5).
+
+After decomposition, BenchPress generates an NL description for each logical
+unit.  Recomposition merges the per-unit descriptions back into a single
+coherent explanation of the original nested query.  The merge is rule-based:
+unit descriptions are ordered by dependency (leaves first), lightly rewritten
+into subordinate clauses, and stitched onto the description of the outer
+query block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.decompose import DecompositionResult, QueryUnit
+
+_ROLE_CONNECTORS = {
+    "cte": "First, {description}",
+    "derived_table": "Using an intermediate result where {description}",
+    "where_subquery": "restricted to rows matching a subquery that {description}",
+    "scalar_subquery": "together with a computed value that {description}",
+}
+
+
+@dataclass
+class RecompositionResult:
+    """Merged explanation of a decomposed query."""
+
+    text: str
+    unit_descriptions: dict[str, str] = field(default_factory=dict)
+    was_nested: bool = False
+
+
+def _lowercase_first(text: str) -> str:
+    if not text:
+        return text
+    return text[0].lower() + text[1:]
+
+
+def _strip_terminal_punctuation(text: str) -> str:
+    return text.rstrip(" .?!")
+
+
+def _as_clause(description: str) -> str:
+    """Turn a standalone sentence/question into a subordinate clause."""
+    cleaned = _strip_terminal_punctuation(description.strip())
+    lowered = _lowercase_first(cleaned)
+    for prefix in ("what is ", "what are ", "list ", "show ", "find ", "return ", "retrieve "):
+        if lowered.startswith(prefix):
+            lowered = lowered[len(prefix):]
+            break
+    return lowered
+
+
+def recompose(
+    decomposition: DecompositionResult, unit_descriptions: dict[str, str]
+) -> RecompositionResult:
+    """Merge per-unit NL descriptions into one explanation.
+
+    Args:
+        decomposition: Result of :func:`repro.sql.decompose.decompose`.
+        unit_descriptions: Mapping from unit name to its NL description.  The
+            outer unit's description anchors the merged text; missing unit
+            descriptions are skipped.
+
+    Returns:
+        A :class:`RecompositionResult` whose ``text`` explains the whole query.
+    """
+    outer = decomposition.outer_unit
+    outer_description = unit_descriptions.get(outer.name, "").strip()
+
+    if not decomposition.was_nested or not decomposition.subquery_units:
+        text = outer_description or _fallback_description(outer)
+        return RecompositionResult(
+            text=text,
+            unit_descriptions=dict(unit_descriptions),
+            was_nested=decomposition.was_nested,
+        )
+
+    clauses: list[str] = []
+    for unit in decomposition.subquery_units:
+        description = unit_descriptions.get(unit.name, "").strip()
+        if not description:
+            continue
+        template = _ROLE_CONNECTORS.get(unit.role, "where {description}")
+        clauses.append(template.format(description=_as_clause(description)))
+
+    main_text = _strip_terminal_punctuation(outer_description or _fallback_description(outer))
+
+    if not clauses:
+        text = main_text + "."
+    else:
+        preamble = "; ".join(clauses)
+        text = f"{preamble}. Then, {_lowercase_first(main_text)}."
+
+    return RecompositionResult(
+        text=text,
+        unit_descriptions=dict(unit_descriptions),
+        was_nested=True,
+    )
+
+
+def _fallback_description(unit: QueryUnit) -> str:
+    """Minimal description used when no NL was produced for the outer block."""
+    tables = ", ".join(unit.tables) if unit.tables else "the selected tables"
+    columns = ", ".join(unit.columns[:5]) if unit.columns else "the requested values"
+    return f"Report {columns} from {tables}"

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Workload fixtures are session-scoped and use a tiny row scale so the whole
+suite stays fast while still exercising the full generation/execution paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.schema import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture()
+def hr_schema() -> DatabaseSchema:
+    """A small two-table HR schema used across unit tests."""
+    return DatabaseSchema(
+        name="hr",
+        tables=[
+            TableSchema(
+                name="employees",
+                columns=[
+                    ColumnSchema("emp_id", "INT", primary_key=True, nullable=False),
+                    ColumnSchema("name", "TEXT"),
+                    ColumnSchema("salary", "REAL"),
+                    ColumnSchema("dept_id", "INT"),
+                    ColumnSchema("hire_date", "DATE"),
+                ],
+                foreign_keys=[ForeignKey("dept_id", "departments", "dept_id")],
+            ),
+            TableSchema(
+                name="departments",
+                columns=[
+                    ColumnSchema("dept_id", "INT", primary_key=True, nullable=False),
+                    ColumnSchema("dept_name", "TEXT"),
+                    ColumnSchema("budget", "REAL"),
+                ],
+            ),
+        ],
+    )
+
+
+@pytest.fixture()
+def hr_database() -> Database:
+    """A populated HR database matching :func:`hr_schema`."""
+    database = Database("hr")
+    database.execute(
+        "CREATE TABLE departments (dept_id INT PRIMARY KEY, dept_name TEXT, budget REAL)"
+    )
+    database.execute(
+        "CREATE TABLE employees (emp_id INT PRIMARY KEY, name TEXT, salary REAL, "
+        "dept_id INT, hire_date DATE)"
+    )
+    database.execute(
+        "INSERT INTO departments (dept_id, dept_name, budget) VALUES "
+        "(1, 'Engineering', 500000), (2, 'Marketing', 200000), (3, 'Research', 300000)"
+    )
+    database.execute(
+        "INSERT INTO employees (emp_id, name, salary, dept_id, hire_date) VALUES "
+        "(1, 'Alice', 120000, 1, '2019-03-01'), "
+        "(2, 'Bob', 95000, 1, '2020-07-15'), "
+        "(3, 'Carol', 88000, 2, '2018-01-20'), "
+        "(4, 'Dan', 72000, 2, '2021-11-05'), "
+        "(5, 'Eve', 150000, 3, '2017-06-30'), "
+        "(6, 'Frank', 67000, NULL, '2022-02-14')"
+    )
+    return database
+
+
+@pytest.fixture(scope="session")
+def tiny_spider():
+    """A tiny Spider-like workload (session-scoped for speed)."""
+    return build_benchmark("Spider", seed=11, row_scale=0.002, query_count=10)
+
+
+@pytest.fixture(scope="session")
+def tiny_beaver():
+    """A tiny Beaver-like workload (session-scoped for speed)."""
+    return build_benchmark("Beaver", seed=11, row_scale=0.0008, query_count=10)
+
+
+@pytest.fixture(scope="session")
+def tiny_bird():
+    """A tiny Bird-like workload (session-scoped for speed)."""
+    return build_benchmark("Bird", seed=11, row_scale=0.0008, query_count=10)

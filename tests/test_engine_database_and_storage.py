@@ -1,0 +1,211 @@
+"""Tests for the database facade, storage layer, types and functions."""
+
+import pytest
+
+from repro.engine import (
+    Database,
+    DataType,
+    StoredColumn,
+    StoredTable,
+    call_aggregate,
+    call_scalar,
+    coerce_value,
+    compare_values,
+    is_scalar_function,
+    values_equal,
+)
+from repro.errors import CatalogError, ExecutionError, TypeMismatchError
+
+
+class TestDatabaseCatalog:
+    def test_create_table_programmatically(self):
+        database = Database()
+        database.create_table("t", [("id", "INT"), ("name", "VARCHAR(20)")], primary_key=["id"])
+        assert database.has_table("t")
+        assert database.table("T").columns[0].primary_key is True
+
+    def test_duplicate_table_raises(self):
+        database = Database()
+        database.create_table("t", [("id", "INT")])
+        with pytest.raises(CatalogError):
+            database.create_table("T", [("id", "INT")])
+
+    def test_create_table_if_not_exists_is_noop(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INT)")
+        database.execute("CREATE TABLE IF NOT EXISTS t (id INT)")
+        assert database.table_names == ["t"]
+
+    def test_drop_table(self):
+        database = Database()
+        database.create_table("t", [("id", "INT")])
+        database.drop_table("t")
+        assert not database.has_table("t")
+        with pytest.raises(CatalogError):
+            database.drop_table("t")
+
+    def test_unknown_table_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            Database().table("missing")
+
+    def test_row_count_and_total_rows(self, hr_database):
+        assert hr_database.row_count("employees") == 6
+        assert hr_database.total_rows() == 9
+
+    def test_execute_script(self):
+        database = Database()
+        results = database.execute_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t"
+        )
+        assert results[-1].rows == [(2,)]
+
+    def test_insert_programmatic_dict_rows(self):
+        database = Database()
+        database.create_table("t", [("a", "INT"), ("b", "TEXT")])
+        database.insert("t", [{"a": 1, "b": "x"}, {"a": 2}])
+        assert database.query("SELECT b FROM t WHERE a = 2") == [(None,)]
+
+    def test_insert_unknown_column_raises(self):
+        database = Database()
+        database.create_table("t", [("a", "INT")])
+        with pytest.raises(CatalogError):
+            database.insert("t", [{"nope": 1}])
+
+    def test_insert_values_must_be_literals(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(ExecutionError):
+            database.execute("INSERT INTO t VALUES (a + 1)")
+
+    def test_insert_negative_literal(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a INT)")
+        database.execute("INSERT INTO t VALUES (-5)")
+        assert database.query("SELECT a FROM t") == [(-5,)]
+
+    def test_not_null_violation(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a INT NOT NULL)")
+        with pytest.raises(ExecutionError):
+            database.execute("INSERT INTO t VALUES (NULL)")
+
+    def test_column_count_mismatch_raises(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a INT, b INT)")
+        with pytest.raises(ExecutionError):
+            database.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+
+class TestStoredTable:
+    def test_requires_columns(self):
+        with pytest.raises(CatalogError):
+            StoredTable("t", [])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredTable("t", [StoredColumn("a", DataType.INTEGER), StoredColumn("A", DataType.TEXT)])
+
+    def test_column_position_case_insensitive(self):
+        table = StoredTable("t", [StoredColumn("Alpha", DataType.INTEGER)])
+        assert table.column_position("alpha") == 0
+        with pytest.raises(CatalogError):
+            table.column_position("beta")
+
+    def test_positional_insert_length_checked(self):
+        table = StoredTable("t", [StoredColumn("a", DataType.INTEGER)])
+        with pytest.raises(ExecutionError):
+            table.insert_row((1, 2))
+
+    def test_column_values(self):
+        table = StoredTable("t", [StoredColumn("a", DataType.INTEGER)])
+        table.insert_rows([(1,), (2,), (None,)])
+        assert table.column_values("a") == [1, 2, None]
+
+    def test_to_relation_uses_alias(self):
+        table = StoredTable("t", [StoredColumn("a", DataType.INTEGER)])
+        relation = table.to_relation(alias="x")
+        assert relation.labels[0].relation == "x"
+
+
+class TestValueModel:
+    def test_data_type_from_sql_aliases(self):
+        assert DataType.from_sql("VARCHAR(255)") is DataType.TEXT
+        assert DataType.from_sql("NUMBER") is DataType.REAL
+        assert DataType.from_sql("bigint") is DataType.INTEGER
+        assert DataType.from_sql("TIMESTAMP") is DataType.DATE
+        assert DataType.from_sql("unknown_type") is DataType.TEXT
+
+    def test_coerce_value(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        assert coerce_value("yes", DataType.BOOLEAN) is True
+        assert coerce_value("no", DataType.BOOLEAN) is False
+        assert coerce_value(3, DataType.TEXT) == "3"
+        assert coerce_value(None, DataType.INTEGER) is None
+
+    def test_coerce_failure_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("not-a-number", DataType.INTEGER)
+
+    def test_compare_values_orders_nulls_first(self):
+        assert compare_values(None, 1) == -1
+        assert compare_values(1, None) == 1
+        assert compare_values(None, None) == 0
+
+    def test_compare_values_numeric_vs_string(self):
+        assert compare_values(2, 10) < 0
+        assert compare_values("2", "10") > 0  # lexicographic for strings
+
+    def test_values_equal_floats_and_ints(self):
+        assert values_equal(2, 2.0)
+        assert not values_equal(2, 3)
+        assert values_equal(None, None)
+        assert not values_equal(None, 0)
+
+
+class TestFunctions:
+    def test_scalar_function_registry(self):
+        assert is_scalar_function("upper")
+        assert not is_scalar_function("COUNT")
+
+    def test_scalar_functions(self):
+        assert call_scalar("UPPER", ["abc"]) == "ABC"
+        assert call_scalar("LENGTH", ["abcd"]) == 4
+        assert call_scalar("ROUND", [3.456, 1]) == 3.5
+        assert call_scalar("COALESCE", [None, None, 7]) == 7
+        assert call_scalar("SUBSTR", ["abcdef", 2, 3]) == "bcd"
+        assert call_scalar("NULLIF", [5, 5]) is None
+        assert call_scalar("IFNULL", [None, "x"]) == "x"
+        assert call_scalar("ABS", [-4]) == 4
+        assert call_scalar("CONCAT", ["a", None, "b"]) == "ab"
+
+    def test_scalar_null_propagation(self):
+        assert call_scalar("UPPER", [None]) is None
+        assert call_scalar("LENGTH", [None]) is None
+
+    def test_unknown_scalar_raises(self):
+        with pytest.raises(ExecutionError):
+            call_scalar("NO_SUCH_FN", [1])
+
+    def test_aggregates(self):
+        assert call_aggregate("COUNT", [1, None, 2], distinct=False, count_star=True) == 3
+        assert call_aggregate("COUNT", [1, None, 2], distinct=False) == 2
+        assert call_aggregate("COUNT", [1, 1, 2], distinct=True) == 2
+        assert call_aggregate("SUM", [1, 2, 3], distinct=False) == 6
+        assert call_aggregate("AVG", [2, 4], distinct=False) == 3
+        assert call_aggregate("MIN", ["b", "a"], distinct=False) == "a"
+        assert call_aggregate("MAX", [1, 5, None], distinct=False) == 5
+        assert call_aggregate("MEDIAN", [1, 2, 9], distinct=False) == 2
+
+    def test_aggregate_empty_inputs(self):
+        assert call_aggregate("SUM", [], distinct=False) is None
+        assert call_aggregate("AVG", [None, None], distinct=False) is None
+        assert call_aggregate("COUNT", [], distinct=False) == 0
+
+    def test_aggregate_type_error(self):
+        with pytest.raises(ExecutionError):
+            call_aggregate("SUM", ["text"], distinct=False)
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ExecutionError):
+            call_aggregate("WEIRD", [1], distinct=False)

@@ -1,0 +1,198 @@
+"""Tests for text, execution, rubric, complexity and annotation metrics."""
+
+import pytest
+
+from repro.metrics import (
+    annotation_accuracy,
+    bleu_score,
+    build_table1,
+    build_table2,
+    compare_execution,
+    exact_match,
+    execute_safely,
+    execution_accuracy,
+    grade_backtranslation,
+    judge_annotation,
+    level_distribution,
+    mean_coverage,
+    mean_level,
+    profile_query_set,
+    relative_to_baseline,
+    results_match,
+    rouge_l,
+    rouge_n,
+    token_f1,
+)
+from repro.errors import MetricError
+from repro.llm import describe_query
+from repro.schema import profile_database
+
+
+class TestTextMetrics:
+    def test_exact_match_ignores_case_and_spacing(self):
+        assert exact_match("How many  Students?", "how many students")
+        assert not exact_match("How many students?", "How many teachers?")
+
+    def test_bleu_identical_is_one(self):
+        text = "count the number of students per term"
+        assert bleu_score(text, text) == pytest.approx(1.0)
+
+    def test_bleu_orders_similarity(self):
+        reference = "count the number of students per term in the registry"
+        close = "count the number of students per term"
+        far = "completely different sentence about nothing"
+        assert bleu_score(close, reference) > bleu_score(far, reference)
+
+    def test_bleu_empty_is_zero(self):
+        assert bleu_score("", "reference") == 0.0
+
+    def test_rouge_n_and_l(self):
+        reference = "the average salary per department"
+        assert rouge_n(reference, reference).f1 == pytest.approx(1.0)
+        assert rouge_l(reference, reference).f1 == pytest.approx(1.0)
+        assert rouge_l("salary per department", reference).recall < 1.0
+        assert rouge_n("xyz", reference, order=2).f1 == 0.0
+
+    def test_token_f1(self):
+        assert token_f1("a b c", "a b c") == pytest.approx(1.0)
+        assert token_f1("a b", "c d") == 0.0
+
+
+class TestExecutionMetrics:
+    def test_match_ignores_row_order_without_order_by(self, hr_database):
+        gold = "SELECT name FROM employees WHERE dept_id = 1"
+        predicted = "SELECT name FROM employees WHERE dept_id = 1 ORDER BY name DESC"
+        assert compare_execution(hr_database, gold, predicted).match
+
+    def test_order_by_in_gold_enforces_order(self, hr_database):
+        gold = "SELECT name FROM employees ORDER BY salary DESC LIMIT 2"
+        predicted = "SELECT name FROM employees ORDER BY salary ASC LIMIT 2"
+        assert not compare_execution(hr_database, gold, predicted).match
+
+    def test_invalid_prediction_fails(self, hr_database):
+        comparison = compare_execution(hr_database, "SELECT name FROM employees", "SELECT nope FROM employees")
+        assert not comparison.match
+        assert comparison.gold_executed and not comparison.predicted_executed
+
+    def test_none_prediction_fails(self, hr_database):
+        assert not compare_execution(hr_database, "SELECT 1", None).match
+
+    def test_invalid_gold_reported(self, hr_database):
+        comparison = compare_execution(hr_database, "SELECT nope FROM employees", "SELECT 1")
+        assert not comparison.gold_executed
+
+    def test_execute_safely_never_raises(self, hr_database):
+        result, error = execute_safely(hr_database, "SELECT * FROM missing_table")
+        assert result is None and error
+
+    def test_float_tolerance(self, hr_database):
+        gold = "SELECT AVG(salary) FROM employees"
+        predicted = "SELECT SUM(salary) / COUNT(salary) FROM employees"
+        assert compare_execution(hr_database, gold, predicted).match
+
+    def test_execution_accuracy_fraction(self, hr_database):
+        pairs = [
+            ("SELECT COUNT(*) FROM employees", "SELECT COUNT(*) FROM employees"),
+            ("SELECT COUNT(*) FROM employees", "SELECT COUNT(*) FROM departments"),
+        ]
+        assert execution_accuracy(hr_database, pairs) == 0.5
+        assert execution_accuracy(hr_database, []) == 0.0
+
+    def test_results_match_column_count(self, hr_database):
+        gold = hr_database.execute("SELECT name, salary FROM employees")
+        predicted = hr_database.execute("SELECT name FROM employees")
+        assert not results_match(gold, predicted)
+
+
+class TestRubric:
+    def test_level_5_for_equivalent_query(self, hr_database):
+        gold = "SELECT name FROM employees WHERE salary > 100000"
+        predicted = "SELECT name FROM employees WHERE salary > 100000.0"
+        assert grade_backtranslation(hr_database, gold, predicted).level == 5
+
+    def test_level_1_for_missing_or_broken_sql(self, hr_database):
+        assert grade_backtranslation(hr_database, "SELECT 1", None).level == 1
+        assert grade_backtranslation(hr_database, "SELECT 1", "SELECT x FROM missing").level == 1
+
+    def test_level_2_for_wrong_tables(self, hr_database):
+        gold = "SELECT name FROM employees WHERE salary > 0"
+        predicted = "SELECT dept_name FROM departments"
+        assert grade_backtranslation(hr_database, gold, predicted).level == 2
+
+    def test_level_3_for_wrong_aggregate(self, hr_database):
+        gold = "SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id"
+        predicted = "SELECT dept_id, MAX(salary) FROM employees GROUP BY dept_id"
+        assert grade_backtranslation(hr_database, gold, predicted).level == 3
+
+    def test_level_4_for_missing_order_or_limit(self, hr_database):
+        gold = "SELECT name FROM employees ORDER BY salary DESC LIMIT 3"
+        predicted = "SELECT name FROM employees ORDER BY salary DESC LIMIT 4"
+        judgement = grade_backtranslation(hr_database, gold, predicted)
+        assert judgement.level in (3, 4)
+        assert judgement.level == 4 or judgement.reasons
+
+    def test_distribution_and_mean(self, hr_database):
+        judgements = [
+            grade_backtranslation(hr_database, "SELECT name FROM employees", "SELECT name FROM employees"),
+            grade_backtranslation(hr_database, "SELECT name FROM employees", None),
+        ]
+        distribution = level_distribution(judgements)
+        assert distribution[5] == 1 and distribution[1] == 1
+        assert mean_level(judgements) == 3.0
+        assert mean_level([]) == 0.0
+
+
+class TestComplexityAggregation:
+    def test_profile_query_set(self):
+        queries = ["SELECT a FROM t", "SELECT COUNT(*) FROM t GROUP BY b", "not valid sql ###"]
+        profile = profile_query_set("demo", queries)
+        assert profile.query_count == 2
+        assert profile.parse_failures == 1
+        assert profile.metric("aggregations") == 0.5
+
+    def test_empty_query_set_raises(self):
+        with pytest.raises(MetricError):
+            profile_query_set("demo", [])
+
+    def test_all_unparseable_raises(self):
+        with pytest.raises(MetricError):
+            profile_query_set("demo", ["garbage ###"])
+
+    def test_relative_to_baseline_and_table1(self):
+        baseline = {"keywords": 10.0, "tokens": 100.0, "tables": 4.0, "columns": 10.0,
+                    "aggregations": 5.0, "nestings": 2.0}
+        other = {"keywords": 5.0, "tokens": 50.0, "tables": 2.0, "columns": 5.0,
+                 "aggregations": 2.5, "nestings": 1.0}
+        relative = relative_to_baseline(baseline, other, tuple(baseline))
+        assert all(value == -0.5 for value in relative.values())
+
+    def test_build_table1_requires_baseline(self):
+        with pytest.raises(MetricError):
+            build_table1({}, "Beaver")
+
+    def test_build_table2_from_databases(self, hr_database):
+        profiles = {"A": profile_database(hr_database), "B": profile_database(hr_database)}
+        rows = build_table2(profiles, "A")
+        assert rows[0].name == "A"
+        assert all(value == 0.0 for value in rows[1].relative.values())
+
+
+class TestAnnotationMetrics:
+    def test_complete_description_is_accurate(self):
+        sql = "SELECT COUNT(*) FROM employees WHERE salary > 100000"
+        assert judge_annotation(sql, describe_query(sql, fidelity=1.0)).accurate
+
+    def test_vague_description_is_not_accurate(self):
+        sql = "SELECT dept_id, COUNT(*) FROM employees WHERE salary > 100000 GROUP BY dept_id"
+        judgement = judge_annotation(sql, "Some information about employees.")
+        assert not judgement.accurate
+        assert judgement.coverage < 0.5
+        assert judgement.missing_kinds
+
+    def test_accuracy_and_coverage_aggregates(self):
+        sql = "SELECT name FROM employees WHERE salary > 10"
+        good = describe_query(sql, fidelity=1.0)
+        pairs = [(sql, good), (sql, "unrelated words entirely")]
+        assert annotation_accuracy(pairs) == 0.5
+        assert 0.0 < mean_coverage(pairs) < 1.0
+        assert annotation_accuracy([]) == 0.0

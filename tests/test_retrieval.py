@@ -1,0 +1,197 @@
+"""Tests for embeddings, the vector store, example store and context retriever."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RetrievalError
+from repro.retrieval import (
+    ContextRetriever,
+    EmbeddingModel,
+    ExampleStore,
+    VectorStore,
+    character_ngrams,
+    cosine_similarity,
+    normalize_whitespace,
+    sentence_case,
+    tokenize_text,
+)
+
+
+class TestText:
+    def test_tokenize_splits_identifiers(self):
+        assert tokenize_text("MOIRA_LIST_NAME equals 'EECS'") == [
+            "moira", "list", "name", "equals", "eecs",
+        ]
+
+    def test_tokenize_removes_stopwords_optionally(self):
+        tokens = tokenize_text("the count of the rows", remove_stopwords=True)
+        assert "the" not in tokens and "of" not in tokens
+
+    def test_character_ngrams(self):
+        assert character_ngrams("abcd", 3) == ["abc", "bcd"]
+        assert character_ngrams("ab", 3) == ["ab"]
+        assert character_ngrams("", 3) == []
+
+    def test_normalize_whitespace(self):
+        assert normalize_whitespace("  a\n b\t c ") == "a b c"
+
+    def test_sentence_case(self):
+        assert sentence_case("hello world") == "Hello world."
+        assert sentence_case("Already done.") == "Already done."
+        assert sentence_case("") == ""
+
+
+class TestEmbeddingModel:
+    def test_embeddings_are_normalised(self):
+        model = EmbeddingModel(dimensions=64)
+        vector = model.embed("SELECT a FROM t")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_embeds_to_zero(self):
+        assert np.allclose(EmbeddingModel().embed(""), 0.0)
+
+    def test_similar_texts_score_higher_than_dissimilar(self):
+        model = EmbeddingModel()
+        for text in ("student enrollment per term", "employee salary by department",
+                     "network device inventory"):
+            model.observe(text)
+        query = model.embed("student enrollment for the fall term")
+        similar = model.embed("student enrollment per term")
+        dissimilar = model.embed("network device inventory")
+        assert cosine_similarity(query, similar) > cosine_similarity(query, dissimilar)
+
+    def test_deterministic(self):
+        left = EmbeddingModel().embed("SELECT a FROM t")
+        right = EmbeddingModel().embed("SELECT a FROM t")
+        assert np.allclose(left, right)
+
+    def test_embed_batch_shape(self):
+        model = EmbeddingModel(dimensions=32)
+        batch = model.embed_batch(["a", "b", "c"])
+        assert batch.shape == (3, 32)
+        assert model.embed_batch([]).shape == (0, 32)
+
+    @given(st.text(alphabet="abcdef ", min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_norm_is_at_most_one(self, text):
+        vector = EmbeddingModel(dimensions=32).embed(text)
+        assert np.linalg.norm(vector) <= 1.0 + 1e-9
+
+
+class TestVectorStore:
+    def test_add_search_roundtrip(self):
+        store = VectorStore()
+        store.add("1", "count students per term", {"dataset": "beaver"})
+        store.add("2", "average salary per department", {"dataset": "hr"})
+        hits = store.search("how many students in each term", top_k=1)
+        assert hits[0].doc_id == "1"
+
+    def test_metadata_filter(self):
+        store = VectorStore()
+        store.add("1", "count students", {"dataset": "a"})
+        store.add("2", "count students", {"dataset": "b"})
+        hits = store.search("count students", metadata_filter={"dataset": "b"})
+        assert [hit.doc_id for hit in hits] == ["2"]
+
+    def test_exclude_ids(self):
+        store = VectorStore()
+        store.add("1", "alpha beta")
+        store.add("2", "alpha beta")
+        hits = store.search("alpha beta", exclude_ids={"1"})
+        assert [hit.doc_id for hit in hits] == ["2"]
+
+    def test_remove_and_get(self):
+        store = VectorStore()
+        store.add("1", "text")
+        assert store.get("1").text == "text"
+        store.remove("1")
+        assert "1" not in store
+        with pytest.raises(RetrievalError):
+            store.get("1")
+        with pytest.raises(RetrievalError):
+            store.remove("1")
+
+    def test_empty_doc_id_rejected(self):
+        with pytest.raises(RetrievalError):
+            VectorStore().add("", "text")
+
+    def test_top_k_zero_returns_empty(self):
+        store = VectorStore()
+        store.add("1", "text")
+        assert store.search("text", top_k=0) == []
+
+
+class TestExampleStore:
+    def test_cold_start_is_empty(self):
+        store = ExampleStore()
+        assert store.is_empty
+        assert store.retrieve("SELECT a FROM t") == []
+
+    def test_add_and_retrieve(self):
+        store = ExampleStore()
+        store.add("SELECT COUNT(*) FROM students", "How many students are there?", dataset="beaver")
+        store.add("SELECT AVG(salary) FROM employees", "What is the average salary?", dataset="hr")
+        results = store.retrieve("SELECT COUNT(*) FROM students WHERE term = 'fall'", top_k=1)
+        assert results[0].nl == "How many students are there?"
+
+    def test_identical_skeleton_excluded(self):
+        store = ExampleStore()
+        store.add("SELECT a FROM t WHERE b = 'x'", "description one")
+        assert store.retrieve("SELECT a FROM t WHERE b = 'y'") == []
+        assert len(store.retrieve("SELECT a FROM t WHERE b = 'y'", exclude_identical=False)) == 1
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(RetrievalError):
+            ExampleStore().add("", "text")
+        with pytest.raises(RetrievalError):
+            ExampleStore().add("SELECT 1", "   ")
+
+    def test_seed_from_pairs(self):
+        store = ExampleStore()
+        assert store.seed_from_pairs([("SELECT 1", "one"), ("SELECT 2", "two")]) == 2
+        assert len(store) == 2
+
+    def test_dataset_filter(self):
+        store = ExampleStore()
+        store.add("SELECT a FROM students", "students a", dataset="beaver")
+        store.add("SELECT a FROM singers", "singers a", dataset="spider")
+        results = store.retrieve("SELECT b FROM students", dataset="beaver")
+        assert all(example.dataset == "beaver" for example in results)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(RetrievalError):
+            ExampleStore().get("missing")
+
+
+class TestContextRetriever:
+    def test_retrieves_relevant_tables_via_sql(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        context = retriever.retrieve("SELECT name FROM employees WHERE salary > 10")
+        assert context.table_names == ["employees"]
+        assert "TABLE employees" in context.schema_text()
+
+    def test_retrieves_joined_tables(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        context = retriever.retrieve(
+            "SELECT e.name, d.dept_name FROM employees e JOIN departments d ON e.dept_id = d.dept_id"
+        )
+        assert set(context.table_names) == {"employees", "departments"}
+        assert "dept_id" in context.ambiguous_columns
+
+    def test_examples_accumulate_and_are_retrieved(self, hr_schema):
+        retriever = ContextRetriever(hr_schema, top_k_examples=2)
+        retriever.record_annotation("SELECT COUNT(*) FROM employees", "How many employees?")
+        context = retriever.retrieve("SELECT COUNT(*) FROM employees WHERE dept_id = 1")
+        assert len(context.examples) == 1
+        assert context.examples[0].nl == "How many employees?"
+
+    def test_unknown_table_reported(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        context = retriever.retrieve("SELECT x FROM payroll_history")
+        assert "payroll_history" in context.unresolved_tables
+
+    def test_unparseable_query_falls_back_to_text_linking(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        context = retriever.retrieve("employees salary report !!!")
+        assert "employees" in context.table_names

@@ -1,0 +1,159 @@
+"""Tests for the schema model, DDL parsing, profiler and linking."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import IngestionError, SchemaError
+from repro.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    TableSchema,
+    ambiguous_column_names,
+    link_sql_to_schema,
+    link_text_to_schema,
+    parse_ddl_script,
+    profile_database,
+    profile_schema,
+    relative_difference,
+    schema_from_database,
+    split_identifier,
+)
+
+
+class TestSchemaModel:
+    def test_table_lookup_case_insensitive(self, hr_schema):
+        assert hr_schema.table("EMPLOYEES").name == "employees"
+        assert hr_schema.has_table("Departments")
+
+    def test_missing_table_raises(self, hr_schema):
+        with pytest.raises(SchemaError):
+            hr_schema.table("missing")
+
+    def test_column_lookup(self, hr_schema):
+        employees = hr_schema.table("employees")
+        assert employees.column("SALARY").name == "salary"
+        assert employees.has_column("dept_id")
+        with pytest.raises(SchemaError):
+            employees.column("missing")
+
+    def test_add_duplicate_table_raises(self, hr_schema):
+        with pytest.raises(SchemaError):
+            hr_schema.add_table(TableSchema(name="employees"))
+
+    def test_to_ddl_round_trips_through_parser(self, hr_schema):
+        ddl = hr_schema.to_ddl()
+        parsed = parse_ddl_script(ddl, schema_name="roundtrip")
+        assert sorted(parsed.table_names) == sorted(hr_schema.table_names)
+        assert parsed.table("employees").foreign_keys[0].referenced_table == "departments"
+
+    def test_serialize_for_prompt_filters_tables(self, hr_schema):
+        text = hr_schema.serialize_for_prompt(["employees"])
+        assert "TABLE employees" in text
+        assert "departments" in text  # via the FK comment
+        assert "TABLE departments" not in text
+
+    def test_column_count_and_all_columns(self, hr_schema):
+        assert hr_schema.column_count() == 8
+        assert len(hr_schema.all_columns()) == 8
+
+    def test_schema_from_database(self, hr_database):
+        schema = schema_from_database(hr_database)
+        assert set(schema.table_names) == {"departments", "employees"}
+        assert schema.table("employees").column("emp_id").primary_key is True
+
+
+class TestDDLParser:
+    def test_parses_multiple_tables(self):
+        schema = parse_ddl_script(
+            "CREATE TABLE a (id INT PRIMARY KEY); CREATE TABLE b (id INT, a_id INT REFERENCES a (id));"
+        )
+        assert schema.table_names == ["a", "b"]
+        assert schema.table("b").foreign_keys[0].referenced_table == "a"
+
+    def test_table_level_constraints(self):
+        schema = parse_ddl_script(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a), FOREIGN KEY (b) REFERENCES u (x))"
+        )
+        assert schema.table("t").column("a").primary_key is True
+        assert schema.table("t").foreign_keys[0].referenced_column == "x"
+
+    def test_empty_script_raises(self):
+        with pytest.raises(IngestionError):
+            parse_ddl_script("SELECT 1")
+
+    def test_invalid_ddl_raises(self):
+        with pytest.raises(IngestionError):
+            parse_ddl_script("CREATE TABLE ???")
+
+
+class TestProfiler:
+    def test_profile_database_metrics(self, hr_database):
+        profile = profile_database(hr_database)
+        assert profile.tables_per_db == 2
+        assert profile.columns_per_table == 4.0
+        assert profile.rows_per_table == 4.5
+        # dept_id appears in both tables -> 1 duplicated name out of 7 distinct.
+        assert profile.uniqueness == pytest.approx(6 / 7)
+        assert 0 < profile.sparsity < 0.1
+        assert profile.data_type_diversity >= 3
+
+    def test_profile_empty_database_raises(self):
+        with pytest.raises(SchemaError):
+            profile_database(Database())
+
+    def test_profile_schema_only(self, hr_schema):
+        profile = profile_schema(hr_schema)
+        assert profile.rows_per_table == 0.0
+        assert profile.tables_per_db == 2
+
+    def test_profile_empty_schema_raises(self):
+        with pytest.raises(SchemaError):
+            profile_schema(DatabaseSchema(name="empty"))
+
+    def test_relative_difference(self):
+        assert relative_difference(50, 100) == -0.5
+        assert relative_difference(150, 100) == 0.5
+        assert relative_difference(0, 0) == 0.0
+
+    def test_as_dict_keys_match_table2(self):
+        keys = profile_schema(
+            DatabaseSchema(name="x", tables=[TableSchema(name="t", columns=[ColumnSchema("a")])])
+        ).as_dict()
+        for key in ("columns_per_table", "rows_per_table", "tables_per_db", "uniqueness",
+                    "sparsity", "data_types"):
+            assert key in keys
+
+
+class TestLinking:
+    def test_split_identifier(self):
+        assert split_identifier("MOIRA_LIST_NAME") == ["moira", "list", "name"]
+        assert split_identifier("camelCaseName") == ["camel", "case", "name"]
+        assert split_identifier("simple") == ["simple"]
+
+    def test_link_sql_resolves_tables_and_columns(self, hr_schema):
+        result = link_sql_to_schema(
+            "SELECT e.name FROM employees e JOIN departments d ON e.dept_id = d.dept_id", hr_schema
+        )
+        assert set(result.tables) == {"employees", "departments"}
+        assert ("employees", "name") in result.columns
+
+    def test_link_sql_reports_unresolved(self, hr_schema):
+        result = link_sql_to_schema("SELECT x FROM unknown_table", hr_schema)
+        assert result.unresolved_tables == ["unknown_table"]
+        assert "x" in result.unresolved_columns
+
+    def test_link_text_finds_relevant_tables(self, hr_schema):
+        result = link_text_to_schema("average salary of employees by department", hr_schema)
+        assert "employees" in result.tables
+
+    def test_link_text_respects_max_tables(self, hr_schema):
+        result = link_text_to_schema("employees departments salary budget", hr_schema, max_tables=1)
+        assert len(result.tables) == 1
+
+    def test_link_text_no_match(self, hr_schema):
+        assert link_text_to_schema("totally unrelated words", hr_schema).tables == []
+
+    def test_ambiguous_column_names(self, hr_schema):
+        ambiguous = ambiguous_column_names(hr_schema)
+        assert "dept_id" in ambiguous
+        assert sorted(ambiguous["dept_id"]) == ["departments", "employees"]

@@ -1,0 +1,93 @@
+"""Tests for nested-query decomposition and recomposition (paper steps 3.5 / 5.5)."""
+
+from repro.sql import decompose, parse_select, print_select, recompose
+
+NESTED = (
+    "SELECT d.dept_name, COUNT(*) FROM employees e "
+    "JOIN departments d ON e.dept_id = d.dept_id "
+    "WHERE e.salary > (SELECT AVG(salary) FROM employees) "
+    "AND e.dept_id IN (SELECT dept_id FROM departments WHERE budget > 100) "
+    "GROUP BY d.dept_name"
+)
+
+
+class TestDecompose:
+    def test_flat_query_single_unit(self):
+        result = decompose("SELECT a FROM t WHERE b = 1")
+        assert not result.was_nested
+        assert len(result.units) == 1
+        assert result.outer_unit.role == "outer"
+
+    def test_nested_query_produces_subquery_units(self):
+        result = decompose(NESTED)
+        assert result.was_nested
+        assert len(result.subquery_units) >= 2
+        roles = {unit.role for unit in result.subquery_units}
+        assert roles <= {"cte", "derived_table", "where_subquery", "scalar_subquery"}
+
+    def test_derived_table_lifted_into_cte(self):
+        result = decompose("SELECT x.n FROM (SELECT COUNT(*) AS n FROM t) AS x")
+        assert "WITH" in result.decomposed_sql
+        assert any(unit.role == "derived_table" for unit in result.units)
+
+    def test_decomposed_sql_still_parses(self):
+        result = decompose(NESTED)
+        reparsed = parse_select(result.decomposed_sql)
+        assert print_select(reparsed)
+
+    def test_existing_ctes_become_units(self):
+        result = decompose(
+            "WITH top AS (SELECT dept_id FROM departments) SELECT * FROM employees "
+            "WHERE dept_id IN (SELECT dept_id FROM top)"
+        )
+        assert any(unit.role == "cte" and unit.name == "top" for unit in result.units)
+
+    def test_unit_metadata(self):
+        result = decompose(NESTED)
+        outer = result.outer_unit
+        assert "employees" in [t.lower() for t in outer.tables] or outer.tables
+        assert outer.depends_on == [unit.name for unit in result.subquery_units]
+        for unit in result.units:
+            assert unit.sql
+            assert parse_select(unit.sql)
+
+    def test_accepts_parsed_ast(self):
+        result = decompose(parse_select(NESTED))
+        assert result.was_nested
+
+    def test_original_sql_preserved(self):
+        result = decompose(NESTED)
+        assert result.original_sql == print_select(parse_select(NESTED))
+
+
+class TestRecompose:
+    def test_flat_query_returns_outer_description(self):
+        decomposition = decompose("SELECT a FROM t")
+        merged = recompose(decomposition, {decomposition.outer_unit.name: "List the a values."})
+        assert merged.text == "List the a values."
+        assert not merged.was_nested
+
+    def test_nested_descriptions_are_merged(self):
+        decomposition = decompose(NESTED)
+        descriptions = {unit.name: f"compute block {index}" for index, unit in
+                        enumerate(decomposition.subquery_units)}
+        descriptions[decomposition.outer_unit.name] = "Report the department head counts"
+        merged = recompose(decomposition, descriptions)
+        assert merged.was_nested
+        assert "Then," in merged.text
+        assert "department head counts" in merged.text
+        for index in range(len(decomposition.subquery_units)):
+            assert f"compute block {index}" in merged.text
+
+    def test_missing_outer_description_uses_fallback(self):
+        decomposition = decompose("SELECT a FROM t")
+        merged = recompose(decomposition, {})
+        assert merged.text
+        assert "t" in merged.text
+
+    def test_missing_unit_descriptions_are_skipped(self):
+        decomposition = decompose(NESTED)
+        merged = recompose(
+            decomposition, {decomposition.outer_unit.name: "Count per department."}
+        )
+        assert merged.text.startswith("Count per department") or "Count per department" in merged.text

@@ -1,0 +1,136 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From wHeRe")
+        assert [t.value for t in tokens] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens)
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT MyColumn FROM MyTable")
+        assert tokens[1].value == "MyColumn"
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[3].value == "MyTable"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "42"
+
+    def test_decimal_literal(self):
+        token = tokenize("3.14")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "3.14"
+
+    def test_scientific_notation(self):
+        token = tokenize("1.5e10")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "1.5e10"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_double_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.kind is TokenKind.QUOTED_IDENTIFIER
+        assert token.value == "Weird Name"
+
+    def test_backtick_identifier(self):
+        token = tokenize("`order`")[0]
+        assert token.kind is TokenKind.QUOTED_IDENTIFIER
+        assert token.value == "order"
+
+    def test_punctuation_and_operators(self):
+        tokens = tokenize("(a, b) = c.d;")
+        kinds = [t.kind for t in tokens]
+        assert TokenKind.PUNCTUATION in kinds
+        assert TokenKind.OPERATOR in kinds
+
+    def test_multi_char_operators(self):
+        values = [t.value for t in tokenize("a <> b >= c <= d != e || f")]
+        assert "<>" in values
+        assert ">=" in values
+        assert "<=" in values
+        assert "||" in values
+        # != is normalised to <>
+        assert values.count("<>") == 2
+
+    def test_named_parameter(self):
+        token = tokenize(":limit")[0]
+        assert token.kind is TokenKind.PARAMETER
+        assert token.value == ":limit"
+
+    def test_positional_parameter(self):
+        token = tokenize("?")[0]
+        assert token.kind is TokenKind.PARAMETER
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n+ 2")
+        assert [t.value for t in tokens] == ["SELECT", "1", "+", "2"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("SELECT /* a block\ncomment */ 1")
+        assert [t.value for t in tokens] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT /* oops")
+
+    def test_whitespace_only_input(self):
+        assert tokenize("   \n\t  ") == []
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("SELECT\n1")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestLexErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT 'oops")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(LexError):
+            tokenize('SELECT "oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @")
+
+    def test_malformed_number_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT 1.2.3")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token(TokenKind.KEYWORD, "SELECT")
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_is_punctuation(self):
+        token = Token(TokenKind.PUNCTUATION, "(")
+        assert token.is_punctuation("(")
+        assert not token.is_punctuation(")")
+
+    def test_is_operator(self):
+        token = Token(TokenKind.OPERATOR, "=")
+        assert token.is_operator("=", "<>")
+        assert not token.is_operator("<")

@@ -1,0 +1,366 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import (
+    Between,
+    BinaryOp,
+    BinaryOperator,
+    CaseWhen,
+    ColumnRef,
+    CreateTable,
+    Exists,
+    FunctionCall,
+    Insert,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    JoinType,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Select,
+    SetOperator,
+    Star,
+    SubqueryRef,
+    TableRef,
+    parse,
+    parse_expression,
+    parse_many,
+    parse_select,
+)
+
+
+class TestBasicSelect:
+    def test_simple_select(self):
+        select = parse_select("SELECT a, b FROM t")
+        assert len(select.select_items) == 2
+        assert isinstance(select.from_relation, TableRef)
+        assert select.from_relation.name == "t"
+
+    def test_select_star(self):
+        select = parse_select("SELECT * FROM t")
+        assert isinstance(select.select_items[0].expression, Star)
+
+    def test_qualified_star(self):
+        select = parse_select("SELECT t.* FROM t")
+        star = select.select_items[0].expression
+        assert isinstance(star, Star)
+        assert star.table == "t"
+
+    def test_select_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_alias_with_as(self):
+        select = parse_select("SELECT a AS alias_name FROM t")
+        assert select.select_items[0].alias == "alias_name"
+
+    def test_alias_without_as(self):
+        select = parse_select("SELECT a alias_name FROM t")
+        assert select.select_items[0].alias == "alias_name"
+
+    def test_table_alias(self):
+        select = parse_select("SELECT x.a FROM long_table x")
+        assert select.from_relation.alias == "x"
+
+    def test_select_without_from(self):
+        select = parse_select("SELECT 1 + 1")
+        assert select.from_relation is None
+
+    def test_qualified_column(self):
+        select = parse_select("SELECT t.a FROM t")
+        column = select.select_items[0].expression
+        assert isinstance(column, ColumnRef)
+        assert column.table == "t"
+        assert column.name == "a"
+
+
+class TestClauses:
+    def test_where(self):
+        select = parse_select("SELECT a FROM t WHERE a > 5")
+        assert isinstance(select.where, BinaryOp)
+        assert select.where.op is BinaryOperator.GT
+
+    def test_group_by_multiple(self):
+        select = parse_select("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(select.group_by) == 2
+
+    def test_having(self):
+        select = parse_select("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert select.having is not None
+
+    def test_order_by_directions(self):
+        select = parse_select("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert select.order_by[0].ascending is False
+        assert select.order_by[1].ascending is True
+
+    def test_order_by_nulls(self):
+        select = parse_select("SELECT a FROM t ORDER BY a ASC NULLS LAST")
+        assert select.order_by[0].nulls_first is False
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_offset(self):
+        select = parse_select("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert select.limit == 10
+        assert select.offset == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t LIMIT abc")
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        select = parse_select("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = select.from_relation
+        assert isinstance(join, Join)
+        assert join.join_type is JoinType.INNER
+        assert join.condition is not None
+
+    def test_left_outer_join(self):
+        select = parse_select("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert select.from_relation.join_type is JoinType.LEFT
+
+    def test_right_and_full_join(self):
+        assert parse_select("SELECT * FROM a RIGHT JOIN b ON a.id = b.id").from_relation.join_type is JoinType.RIGHT
+        assert parse_select("SELECT * FROM a FULL JOIN b ON a.id = b.id").from_relation.join_type is JoinType.FULL
+
+    def test_cross_join(self):
+        select = parse_select("SELECT * FROM a CROSS JOIN b")
+        assert select.from_relation.join_type is JoinType.CROSS
+
+    def test_comma_join_is_cross(self):
+        select = parse_select("SELECT * FROM a, b")
+        assert select.from_relation.join_type is JoinType.CROSS
+
+    def test_join_using(self):
+        select = parse_select("SELECT * FROM a JOIN b USING (id, name)")
+        assert select.from_relation.using_columns == ["id", "name"]
+
+    def test_three_way_join_nests_left(self):
+        select = parse_select(
+            "SELECT * FROM a JOIN b ON a.id = b.id JOIN c ON b.id = c.id"
+        )
+        outer = select.from_relation
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, Join)
+        assert isinstance(outer.right, TableRef)
+
+    def test_derived_table(self):
+        select = parse_select("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(select.from_relation, SubqueryRef)
+        assert select.from_relation.alias == "sub"
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp)
+        assert expression.op is BinaryOperator.ADD
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.op is BinaryOperator.MUL
+
+    def test_parentheses_override_precedence(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op is BinaryOperator.MUL
+
+    def test_and_or_precedence(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expression.op is BinaryOperator.OR
+        assert expression.right.op is BinaryOperator.AND
+
+    def test_not(self):
+        expression = parse_expression("NOT a = 1")
+        from repro.sql import UnaryOp, UnaryOperator
+
+        assert isinstance(expression, UnaryOp)
+        assert expression.op is UnaryOperator.NOT
+
+    def test_in_list(self):
+        expression = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expression, InList)
+        assert len(expression.values) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("a NOT IN (1)").negated is True
+
+    def test_between(self):
+        expression = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expression, Between)
+
+    def test_like(self):
+        expression = parse_expression("name LIKE 'A%'")
+        assert isinstance(expression, Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNull)
+        assert parse_expression("a IS NOT NULL").negated is True
+
+    def test_case_when(self):
+        expression = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expression, CaseWhen)
+        assert expression.else_result is not None
+
+    def test_simple_case_normalised(self):
+        expression = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        condition, _ = expression.conditions[0]
+        assert isinstance(condition, BinaryOp)
+        assert condition.op is BinaryOperator.EQ
+
+    def test_cast(self):
+        from repro.sql import Cast
+
+        expression = parse_expression("CAST(a AS VARCHAR(10))")
+        assert isinstance(expression, Cast)
+        assert expression.target_type.startswith("VARCHAR")
+
+    def test_function_call_with_distinct(self):
+        expression = parse_expression("COUNT(DISTINCT a)")
+        assert isinstance(expression, FunctionCall)
+        assert expression.distinct is True
+
+    def test_count_star(self):
+        expression = parse_expression("COUNT(*)")
+        assert isinstance(expression.args[0], Star)
+
+    def test_string_concat(self):
+        expression = parse_expression("a || 'x'")
+        assert expression.op is BinaryOperator.CONCAT
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+        assert parse_expression("NULL").value is None
+
+    def test_negative_number(self):
+        from repro.sql import UnaryOp
+
+        assert isinstance(parse_expression("-5"), UnaryOp)
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        select = parse_select("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(select.where, InSubquery)
+
+    def test_exists(self):
+        select = parse_select("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(select.where, Exists)
+
+    def test_not_exists(self):
+        select = parse_select("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+        assert select.where.negated is True
+
+    def test_scalar_subquery_in_select_list(self):
+        select = parse_select("SELECT (SELECT MAX(b) FROM u), a FROM t")
+        assert isinstance(select.select_items[0].expression, ScalarSubquery)
+
+    def test_scalar_subquery_comparison(self):
+        select = parse_select("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)")
+        assert isinstance(select.where.right, ScalarSubquery)
+
+
+class TestCTEsAndSetOps:
+    def test_single_cte(self):
+        select = parse_select("WITH x AS (SELECT a FROM t) SELECT * FROM x")
+        assert len(select.ctes) == 1
+        assert select.ctes[0].name == "x"
+
+    def test_multiple_ctes(self):
+        select = parse_select(
+            "WITH x AS (SELECT a FROM t), y AS (SELECT b FROM u) SELECT * FROM x JOIN y ON x.a = y.b"
+        )
+        assert [cte.name for cte in select.ctes] == ["x", "y"]
+
+    def test_cte_column_names(self):
+        select = parse_select("WITH x (col1, col2) AS (SELECT a, b FROM t) SELECT * FROM x")
+        assert select.ctes[0].column_names == ["col1", "col2"]
+
+    def test_union(self):
+        select = parse_select("SELECT a FROM t UNION SELECT b FROM u")
+        assert select.set_operator is SetOperator.UNION
+
+    def test_union_all(self):
+        select = parse_select("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert select.set_operator is SetOperator.UNION_ALL
+
+    def test_intersect_and_except(self):
+        assert parse_select("SELECT a FROM t INTERSECT SELECT b FROM u").set_operator is SetOperator.INTERSECT
+        assert parse_select("SELECT a FROM t EXCEPT SELECT b FROM u").set_operator is SetOperator.EXCEPT
+
+    def test_order_limit_after_union_apply_to_whole(self):
+        select = parse_select("SELECT a FROM t UNION SELECT b FROM u ORDER BY a LIMIT 3")
+        assert select.limit == 3
+        assert select.order_by
+        assert select.set_right.limit is None
+        assert not select.set_right.order_by
+
+
+class TestDDLAndDML:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(50) NOT NULL, score REAL DEFAULT 0)"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.columns[0].primary_key is True
+        assert statement.columns[1].not_null is True
+        assert statement.columns[2].default is not None
+
+    def test_create_table_table_level_pk_and_fk(self):
+        statement = parse(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a), FOREIGN KEY (b) REFERENCES u (id))"
+        )
+        assert statement.primary_key == ["a"]
+        assert statement.foreign_keys[0][1] == "u"
+
+    def test_create_table_if_not_exists(self):
+        statement = parse("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert statement.if_not_exists is True
+
+    def test_column_level_references(self):
+        statement = parse("CREATE TABLE t (a INT REFERENCES u (id))")
+        assert statement.columns[0].references == ("u", "id")
+
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == []
+
+    def test_parse_many(self):
+        statements = parse_many("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t")
+        assert len(statements) == 3
+
+
+class TestParseErrors:
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra garbage here")
+
+    def test_missing_from_table_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM")
+
+    def test_unbalanced_parenthesis_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE (a = 1")
+
+    def test_empty_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+    def test_parse_select_rejects_ddl(self):
+        with pytest.raises(ParseError):
+            parse_select("CREATE TABLE t (a INT)")
+
+    def test_unknown_statement_start(self):
+        with pytest.raises(ParseError):
+            parse("UPSERT INTO t VALUES (1)")
