@@ -1,0 +1,106 @@
+"""Annotation throughput — sequential loop vs batched wave scheduler.
+
+Measures queries/sec over a 200-query generated workload for
+
+* the *sequential* baseline: one :meth:`AnnotationPipeline.annotate` call per
+  query (exactly what ``annotate_many`` was before the batched refactor), and
+* the *batched* path: one :meth:`AnnotationPipeline.annotate_many` call
+  running the wave scheduler (vectorized retrieval, one LLM round trip per
+  wave, per-query commits with staleness validation).
+
+Both paths produce bit-identical annotation records (enforced here and in
+``tests/test_batching.py``); the batched path must win on wall-clock time and
+use far fewer LLM round trips.  Timings take the best of ``ROUNDS``
+interleaved runs to shrug off machine noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import AnnotationPipeline, TaskConfig
+from repro.workloads import build_benchmark
+
+#: Queries in the throughput workload (the ISSUE's 200-query target).
+QUERY_COUNT = 200
+#: Wave size for the batched condition.
+BATCH_SIZE = 25
+#: Fraction of the paper's rows/table (matches benchmarks/conftest.py).
+ROW_SCALE = 0.0015
+SEED = 7
+#: Timed repetitions per condition; best-of is reported.
+ROUNDS = 2
+
+
+@pytest.fixture(scope="module")
+def throughput_workload():
+    return build_benchmark(
+        "Spider", seed=SEED, row_scale=ROW_SCALE, query_count=QUERY_COUNT
+    )
+
+
+def _sequential_run(workload):
+    pipeline = AnnotationPipeline(
+        workload.schema, config=TaskConfig(), dataset_name="Spider"
+    )
+    records = [pipeline.annotate(sql) for sql in workload.query_sql]
+    return pipeline, records
+
+
+def _batched_run(workload):
+    pipeline = AnnotationPipeline(
+        workload.schema, config=TaskConfig(batch_size=BATCH_SIZE), dataset_name="Spider"
+    )
+    records = pipeline.annotate_many(workload.query_sql)
+    return pipeline, records
+
+
+def _best_of(runner, workload, rounds: int):
+    best_elapsed = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        outcome = runner(workload)
+        elapsed = time.perf_counter() - started
+        if elapsed < best_elapsed:
+            best_elapsed = elapsed
+            result = outcome
+    return best_elapsed, result
+
+
+def test_pipeline_throughput_batched_beats_sequential(benchmark, throughput_workload):
+    sequential_elapsed, (_, sequential_records) = _best_of(
+        _sequential_run, throughput_workload, ROUNDS
+    )
+    batched_elapsed, (batched_pipeline, batched_records) = _best_of(
+        _batched_run, throughput_workload, ROUNDS
+    )
+    # One extra batched run under the harness so the shared benchmark
+    # reporting stays comparable with the other bench_* files.
+    benchmark.pedantic(_batched_run, args=(throughput_workload,), rounds=1, iterations=1)
+
+    queries = len(throughput_workload.query_sql)
+    stats = batched_pipeline.last_run_stats
+    usage = batched_pipeline.llm.usage
+    print()
+    print(f"sequential: {sequential_elapsed:6.3f}s  {queries / sequential_elapsed:7.1f} q/s")
+    print(f"batched:    {batched_elapsed:6.3f}s  {queries / batched_elapsed:7.1f} q/s")
+    print(f"speedup:    {sequential_elapsed / batched_elapsed:0.2f}x")
+    print(
+        f"waves: {stats.waves}  batched: {stats.batched_queries}"
+        f"  regenerated: {stats.regenerated_queries}"
+        f"  llm round trips: {stats.llm_requests} (vs {queries}+ sequential)"
+    )
+    print(f"mean prompts per llm request: {usage.mean_batch_size:0.1f}")
+
+    # The two paths must agree annotation-for-annotation.
+    assert [
+        (record.query_id, record.nl, record.accepted) for record in sequential_records
+    ] == [(record.query_id, record.nl, record.accepted) for record in batched_records]
+
+    # Batching must amortise LLM round trips dramatically...
+    assert stats.llm_requests < queries / 4
+    # ...and win on wall-clock throughput.
+    assert batched_elapsed < sequential_elapsed

@@ -18,14 +18,23 @@ from repro.core.ingestion import (
     load_benchmark_json,
     split_sql_log,
 )
-from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, CandidateSet
+from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, CandidateSet, WaveStats
 from repro.core.project import Project, Workspace
+from repro.core.service import (
+    AnnotationJob,
+    AnnotationService,
+    CompletedJob,
+    ServiceStats,
+)
 
 __all__ = [
+    "AnnotationJob",
     "AnnotationPipeline",
     "AnnotationRecord",
+    "AnnotationService",
     "AnnotationTask",
     "CandidateSet",
+    "CompletedJob",
     "Feedback",
     "FeedbackAction",
     "FeedbackLoop",
@@ -34,7 +43,9 @@ __all__ = [
     "LogEntry",
     "Project",
     "ReviewReport",
+    "ServiceStats",
     "TaskConfig",
+    "WaveStats",
     "Workspace",
     "export_benchmark_json",
     "export_jsonl",

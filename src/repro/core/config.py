@@ -36,6 +36,10 @@ class TaskConfig:
         decomposition_enabled: Decompose nested queries into CTE units.
         knowledge_feedback_enabled: Inject accumulated domain knowledge.
         auto_accept_into_examples: Store accepted annotations for future RAG.
+        batch_size: Wave size used by the batched annotation scheduler —
+            how many queries are retrieved and generated together before
+            feedback is applied and accepted annotations are committed.
+            1 degenerates to fully sequential annotation.
     """
 
     task: AnnotationTask = AnnotationTask.SQL_TO_NL
@@ -46,6 +50,7 @@ class TaskConfig:
     decomposition_enabled: bool = True
     knowledge_feedback_enabled: bool = True
     auto_accept_into_examples: bool = True
+    batch_size: int = 16
 
     def validate(self) -> None:
         """Raise :class:`PipelineError` on inconsistent settings."""
@@ -53,6 +58,8 @@ class TaskConfig:
             raise PipelineError("num_candidates must be at least 1")
         if self.top_k_examples < 0:
             raise PipelineError("top_k_examples cannot be negative")
+        if self.batch_size < 1:
+            raise PipelineError("batch_size must be at least 1")
         if self.task is AnnotationTask.NL_TO_SQL:
             raise PipelineError(
                 "NL_TO_SQL annotation is future work in the paper and not supported yet"

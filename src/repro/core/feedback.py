@@ -56,11 +56,17 @@ class FeedbackLoop:
         self.knowledge = knowledge or KnowledgeBase()
         self.priorities: list[str] = []
         self.history: list[Feedback] = []
+        #: Bumped whenever session-level guidance (knowledge, failure
+        #: patterns, priorities) changes; batch schedulers compare revisions
+        #: to detect that in-flight prompts have gone stale.
+        self.revision = 0
 
     def apply(self, candidates: list[str], feedback: Feedback) -> FeedbackOutcome:
         """Apply one feedback event to the candidates of the current query."""
         self.history.append(feedback)
 
+        if feedback.knowledge or feedback.failure_patterns:
+            self.revision += 1
         for term, explanation in feedback.knowledge:
             self.knowledge.add(term, explanation)
         for description, guidance in feedback.failure_patterns:
@@ -68,6 +74,7 @@ class FeedbackLoop:
         for priority in feedback.new_priorities:
             if priority not in self.priorities:
                 self.priorities.append(priority)
+                self.revision += 1
 
         if feedback.action is FeedbackAction.DISCARD:
             return FeedbackOutcome(final_text=None, accepted=False, action=feedback.action)

@@ -12,6 +12,17 @@ For each SQL query the pipeline:
 6. records accepted annotations — both into the export set and into the
    example store so later queries retrieve them (the growing-archive effect
    the paper describes).
+
+Bulk annotation (:meth:`AnnotationPipeline.annotate_many`) runs as a *wave
+scheduler*: queries are parsed and decomposed up front, retrieval for a wave
+is one vectorized pass, generation for the wave is one batched LLM call, and
+feedback/commit then runs per query in order.  Because committing an accepted
+annotation can change what the *next* query in the same wave would have
+retrieved, each query's prompts are re-validated against the live store at
+commit time and regenerated individually when stale — so the batched path
+produces bit-identical annotations to a sequential loop while spending far
+fewer LLM round trips, and the paper's growing-archive effect is preserved
+exactly.
 """
 
 from __future__ import annotations
@@ -49,6 +60,37 @@ class CandidateSet:
     def was_decomposed(self) -> bool:
         """Whether the nested-query decomposition path was taken."""
         return self.decomposition is not None and self.decomposition.was_nested
+
+
+@dataclass
+class WaveStats:
+    """Accounting for one :meth:`AnnotationPipeline.annotate_many` run."""
+
+    queries: int = 0
+    waves: int = 0
+    batched_queries: int = 0
+    regenerated_queries: int = 0
+    llm_requests: int = 0
+
+    @property
+    def fixup_rate(self) -> float:
+        """Fraction of queries whose batched prompts went stale mid-wave."""
+        return self.regenerated_queries / self.queries if self.queries else 0.0
+
+
+@dataclass
+class _WaveItem:
+    """One query's in-flight state inside a wave."""
+
+    sql: str
+    query_id: str | None
+    decomposition: DecompositionResult | None
+    unit_names: list[str | None]  # None = whole-query (flat) unit
+    unit_sqls: list[str]
+    unit_asts: list[object | None] = field(default_factory=list)
+    contexts: list[RetrievedContext | None] = field(default_factory=list)
+    prompts: list[Prompt] = field(default_factory=list)
+    candidate_lists: list[list[str]] = field(default_factory=list)
 
 
 @dataclass
@@ -94,6 +136,7 @@ class AnnotationPipeline:
             max_examples=self.config.top_k_examples,
         )
         self.annotations: list[AnnotationRecord] = []
+        self.last_run_stats = WaveStats()
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -134,7 +177,9 @@ class AnnotationPipeline:
             return None
         return self.retriever.retrieve(sql, dataset=self.dataset_name or None)
 
-    def _build_prompt(self, sql: str, context: RetrievedContext | None) -> Prompt:
+    def _build_prompt(
+        self, sql: str, context: RetrievedContext | None, ast: object | None = None
+    ) -> Prompt:
         knowledge = (
             self.feedback_loop.knowledge if self.config.knowledge_feedback_enabled else None
         )
@@ -143,6 +188,7 @@ class AnnotationPipeline:
             context=context,
             knowledge=knowledge,
             priorities=self.feedback_loop.priorities,
+            ast=ast,
         )
 
     def _generate_flat(self, sql: str) -> list[str]:
@@ -158,7 +204,12 @@ class AnnotationPipeline:
             context = self._retrieve(unit.sql)
             prompt = self._build_prompt(unit.sql, context)
             unit_candidates[unit.name] = self.llm.generate(prompt).candidates
+        return self._merge_unit_candidates(decomposition, unit_candidates), unit_candidates
 
+    def _merge_unit_candidates(
+        self, decomposition: DecompositionResult, unit_candidates: dict[str, list[str]]
+    ) -> list[str]:
+        """Recompose per-unit candidate descriptions into whole-query ones."""
         merged: list[str] = []
         for candidate_index in range(self.config.num_candidates):
             descriptions = {
@@ -169,7 +220,7 @@ class AnnotationPipeline:
             merged_text = recompose(decomposition, descriptions).text
             if merged_text not in merged:
                 merged.append(merged_text)
-        return merged, unit_candidates
+        return merged
 
     # ------------------------------------------------------------------
     # feedback + acceptance (steps 6 - 7)
@@ -229,9 +280,253 @@ class AnnotationPipeline:
         assert record is not None
         return record
 
-    def annotate_many(self, statements: list[str]) -> list[AnnotationRecord]:
-        """Annotate a list of SQL statements with default (accept-top) feedback."""
-        return [self.annotate(sql) for sql in statements]
+    def annotate_many(
+        self,
+        statements: list[str],
+        query_ids: list[str | None] | None = None,
+        batch_size: int | None = None,
+    ) -> list[AnnotationRecord]:
+        """Annotate SQL statements in batched waves with accept-top feedback.
+
+        The statements are processed in waves of up to ``batch_size``
+        (defaulting to :attr:`TaskConfig.batch_size`): each wave is parsed
+        and decomposed up front, retrieval runs as one vectorized pass,
+        generation is one batched LLM call, then feedback and example-store
+        commits run per query in submission order.  Prompts invalidated by an
+        intra-wave commit are regenerated individually, so the records are
+        identical to a sequential loop of :meth:`annotate` calls.
+
+        While the example archive is cold, nearly every commit changes what
+        the next query retrieves, so large speculative waves would be wasted:
+        wave sizes ramp geometrically from 1 until the archive holds at least
+        a full retrieval window, after which waves start at full size (so
+        repeated incremental drains on a warm pipeline stay fully batched).
+        """
+        if query_ids is not None and len(query_ids) != len(statements):
+            raise PipelineError("query_ids must align with statements")
+        wave_size = batch_size if batch_size is not None else self.config.batch_size
+        if wave_size < 1:
+            raise PipelineError("batch_size must be at least 1")
+
+        stats = WaveStats(queries=len(statements))
+        requests_before = self.llm.usage.requests
+        records: list[AnnotationRecord] = []
+        start = 0
+        archive_warm = len(self.retriever.example_store) >= self.config.top_k_examples + 5
+        size = wave_size if archive_warm else 1
+        while start < len(statements):
+            wave_statements = statements[start : start + size]
+            wave_ids = (
+                query_ids[start : start + size]
+                if query_ids is not None
+                else [None] * len(wave_statements)
+            )
+            records.extend(self._run_wave(wave_statements, wave_ids, stats))
+            stats.waves += 1
+            start += len(wave_statements)
+            size = min(wave_size, size * 2)
+        stats.llm_requests = self.llm.usage.requests - requests_before
+        self.last_run_stats = stats
+        return records
+
+    def _run_wave(
+        self,
+        statements: list[str],
+        query_ids: list[str | None],
+        stats: WaveStats,
+    ) -> list[AnnotationRecord]:
+        # Phase 1 — parse and decompose every statement in the wave.
+        items: list[_WaveItem] = []
+        for sql, query_id in zip(statements, query_ids):
+            sql = sql.strip().rstrip(";")
+            if not sql:
+                raise PipelineError("cannot annotate an empty SQL string")
+            select = parse_select(sql)
+            decomposition = (
+                decompose(select)
+                if self.config.decomposition_enabled and is_nested(select)
+                else None
+            )
+            if decomposition is not None and decomposition.was_nested:
+                unit_names: list[str | None] = [unit.name for unit in decomposition.units]
+                unit_sqls = [unit.sql for unit in decomposition.units]
+                unit_asts: list[object | None] = [None] * len(unit_sqls)
+            else:
+                decomposition = None
+                unit_names = [None]
+                unit_sqls = [sql]
+                unit_asts = [select]  # phase-1 parse reused downstream
+            items.append(
+                _WaveItem(
+                    sql=sql,
+                    query_id=query_id,
+                    decomposition=decomposition,
+                    unit_names=unit_names,
+                    unit_sqls=unit_sqls,
+                    unit_asts=unit_asts,
+                )
+            )
+
+        # Phase 2 — one vectorized retrieval pass over every generation unit.
+        all_unit_sqls = [unit_sql for item in items for unit_sql in item.unit_sqls]
+        all_unit_asts = [unit_ast for item in items for unit_ast in item.unit_asts]
+        store_version = self.retriever.example_store.version
+        if self.config.rag_enabled:
+            contexts = self.retriever.retrieve_batch(
+                all_unit_sqls, dataset=self.dataset_name or None, asts=all_unit_asts
+            )
+        else:
+            contexts = [None] * len(all_unit_sqls)
+        prompts = [
+            self._build_prompt(unit_sql, context, ast=unit_ast)
+            for unit_sql, context, unit_ast in zip(all_unit_sqls, contexts, all_unit_asts)
+        ]
+
+        # Phase 3 — one batched generation call for the whole wave.
+        results = self.llm.generate_batch(prompts)
+        cursor = 0
+        for item in items:
+            item.contexts = contexts[cursor : cursor + len(item.unit_sqls)]
+            item.prompts = prompts[cursor : cursor + len(item.unit_sqls)]
+            item.candidate_lists = [
+                result.candidates for result in results[cursor : cursor + len(item.unit_sqls)]
+            ]
+            cursor += len(item.unit_sqls)
+
+        # Phase 4 — feedback and commit, per query in submission order.  The
+        # example store grows as annotations are accepted, so each query's
+        # prompts are validated against the live store first.
+        feedback_revision = self.feedback_loop.revision
+        records: list[AnnotationRecord] = []
+        for item in items:
+            candidate_set = self._commit_candidate_set(
+                item, stats, feedback_revision, store_version
+            )
+            record = self.submit_feedback(
+                candidate_set,
+                Feedback(action=FeedbackAction.ACCEPT, selected_index=0),
+                query_id=item.query_id,
+            )
+            assert record is not None  # ACCEPT feedback never asks to regenerate
+            records.append(record)
+        return records
+
+    def _commit_candidate_set(
+        self,
+        item: _WaveItem,
+        stats: WaveStats,
+        feedback_revision: int,
+        store_version: int,
+    ) -> CandidateSet:
+        """Reuse the wave's batched candidates when still valid, else redo.
+
+        A batched prompt is stale when an annotation committed earlier in the
+        wave changed what retrieval (or session guidance) now produces for
+        it.  Validation is tiered:
+
+        * a feedback-revision bump (new knowledge/priorities) always
+          invalidates,
+        * with RAG disabled, or an example store untouched since the wave's
+          retrieval pass, nothing can have drifted, so the wave result
+          stands,
+        * an LLM that reads example *content*
+          (:attr:`~repro.llm.base.LLMClient.example_content_sensitive`)
+          requires the freshly-rebuilt prompts to match the batched ones
+          exactly,
+        * the simulated models only consume the example *count*, so a cheap
+          ranked-count probe suffices.
+
+        Stale queries regenerate against fresh retrieval, reproducing the
+        sequential path bit-for-bit.
+        """
+        stale = self.feedback_loop.revision != feedback_revision
+        fresh_contexts: list[RetrievedContext | None] | None = None
+        fresh_prompts: list[Prompt] | None = None
+        if (
+            not stale
+            and self.config.rag_enabled
+            and self.retriever.example_store.version != store_version
+        ):
+            if getattr(self.llm, "example_content_sensitive", True):
+                fresh_contexts = [self._retrieve(unit_sql) for unit_sql in item.unit_sqls]
+                fresh_prompts = [
+                    self._build_prompt(unit_sql, context)
+                    for unit_sql, context in zip(item.unit_sqls, fresh_contexts)
+                ]
+                stale = fresh_prompts != item.prompts
+            else:
+                dataset = self.dataset_name or None
+                stale = any(
+                    self.retriever.example_count(unit_sql, dataset=dataset)
+                    != len(prompt.examples)
+                    for unit_sql, prompt in zip(item.unit_sqls, item.prompts)
+                )
+
+        if stale:
+            stats.regenerated_queries += 1
+            return self._regenerate(item, fresh_contexts, fresh_prompts)
+
+        stats.batched_queries += 1
+        if item.decomposition is not None:
+            unit_candidates = {
+                name: candidates
+                for name, candidates in zip(item.unit_names, item.candidate_lists)
+            }
+            candidates = self._merge_unit_candidates(item.decomposition, unit_candidates)
+        else:
+            unit_candidates = {}
+            candidates = item.candidate_lists[0]
+        return CandidateSet(
+            sql=item.sql,
+            candidates=candidates,
+            dataset=self.dataset_name,
+            prompt=item.prompts[0] if item.decomposition is None else None,
+            context=item.contexts[0] if item.decomposition is None else None,
+            decomposition=item.decomposition,
+            unit_candidates=unit_candidates,
+            model_name=self.llm.name,
+        )
+
+    def _regenerate(
+        self,
+        item: _WaveItem,
+        fresh_contexts: list[RetrievedContext | None] | None,
+        fresh_prompts: list[Prompt] | None,
+    ) -> CandidateSet:
+        """Sequential-equivalent regeneration of one stale wave item.
+
+        Uses the fresh contexts/prompts computed during validation when
+        available so retrieval is not repeated.
+        """
+        if fresh_contexts is None or fresh_prompts is None:
+            fresh_contexts = [self._retrieve(unit_sql) for unit_sql in item.unit_sqls]
+            fresh_prompts = [
+                self._build_prompt(unit_sql, context)
+                for unit_sql, context in zip(item.unit_sqls, fresh_contexts)
+            ]
+        if item.decomposition is not None:
+            unit_candidates = {
+                name: self.llm.generate(prompt).candidates
+                for name, prompt in zip(item.unit_names, fresh_prompts)
+            }
+            candidates = self._merge_unit_candidates(item.decomposition, unit_candidates)
+            context = self._retrieve(item.sql)
+            prompt = self._build_prompt(item.sql, context)
+        else:
+            unit_candidates = {}
+            candidates = self.llm.generate(fresh_prompts[0]).candidates
+            context = fresh_contexts[0]
+            prompt = fresh_prompts[0]
+        return CandidateSet(
+            sql=item.sql,
+            candidates=candidates,
+            dataset=self.dataset_name,
+            prompt=prompt,
+            context=context,
+            decomposition=item.decomposition,
+            unit_candidates=unit_candidates,
+            model_name=self.llm.name,
+        )
 
     # ------------------------------------------------------------------
     # accessors

@@ -1,0 +1,200 @@
+"""Queue-style annotation service over the batched pipeline.
+
+The :class:`AnnotationService` is the throughput-oriented facade of the
+reproduction: callers *submit* SQL statements (for one or several projects)
+and later *drain* the queue, which schedules everything through each
+project's :class:`~repro.core.pipeline.AnnotationPipeline` wave scheduler —
+vectorized retrieval, one batched LLM call per wave, and per-query commits so
+the growing-archive effect is preserved.  It models the server side of
+BenchPress under heavy multi-user load, where annotation requests arrive
+faster than they are processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TaskConfig
+from repro.core.pipeline import AnnotationPipeline, AnnotationRecord
+from repro.errors import PipelineError
+from repro.llm.base import LLMClient, UsageStats
+from repro.schema.model import DatabaseSchema
+
+
+@dataclass
+class AnnotationJob:
+    """One queued annotation request."""
+
+    job_id: int
+    project: str
+    sql: str
+    query_id: str | None = None
+
+
+@dataclass
+class CompletedJob:
+    """A drained job together with the record it produced."""
+
+    job: AnnotationJob
+    record: AnnotationRecord
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate accounting across every drain."""
+
+    submitted: int = 0
+    completed: int = 0
+    waves: int = 0
+    batched_queries: int = 0
+    regenerated_queries: int = 0
+    usage_by_model: dict[str, UsageStats] = field(default_factory=dict)
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet drained."""
+        return self.submitted - self.completed
+
+
+class AnnotationService:
+    """Multi-project submit/drain facade over batched annotation pipelines."""
+
+    def __init__(self, default_project: str = "default") -> None:
+        self._default_project = default_project
+        self._pipelines: dict[str, AnnotationPipeline] = {}
+        self._queue: list[AnnotationJob] = []
+        self._next_job_id = 1
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # project management
+    # ------------------------------------------------------------------
+
+    def register_project(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        config: TaskConfig | None = None,
+        llm: LLMClient | None = None,
+    ) -> AnnotationPipeline:
+        """Create (and return) the annotation pipeline for one project."""
+        if not name.strip():
+            raise PipelineError("project name must be non-empty")
+        if name in self._pipelines:
+            raise PipelineError(f"project {name!r} is already registered")
+        pipeline = AnnotationPipeline(
+            schema=schema, config=config, llm=llm, dataset_name=name
+        )
+        self._pipelines[name] = pipeline
+        return pipeline
+
+    def pipeline(self, project: str | None = None) -> AnnotationPipeline:
+        """The pipeline backing a project."""
+        name = project or self._default_project
+        if name not in self._pipelines:
+            raise PipelineError(f"project {name!r} is not registered")
+        return self._pipelines[name]
+
+    @property
+    def project_names(self) -> list[str]:
+        """All registered projects, in registration order."""
+        return list(self._pipelines.keys())
+
+    # ------------------------------------------------------------------
+    # queue
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, sql: str, project: str | None = None, query_id: str | None = None
+    ) -> int:
+        """Enqueue one statement; returns its job id."""
+        name = project or self._default_project
+        if name not in self._pipelines:
+            raise PipelineError(f"project {name!r} is not registered")
+        if not sql.strip().rstrip(";"):
+            raise PipelineError("cannot enqueue an empty SQL string")
+        job = AnnotationJob(
+            job_id=self._next_job_id, project=name, sql=sql, query_id=query_id
+        )
+        self._next_job_id += 1
+        self._queue.append(job)
+        self.stats.submitted += 1
+        return job.job_id
+
+    def submit_many(
+        self, statements: list[str], project: str | None = None
+    ) -> list[int]:
+        """Enqueue several statements; returns their job ids."""
+        return [self.submit(sql, project=project) for sql in statements]
+
+    @property
+    def pending_count(self) -> int:
+        """Jobs waiting in the queue."""
+        return len(self._queue)
+
+    def pending_jobs(self, project: str | None = None) -> list[AnnotationJob]:
+        """Queued jobs, optionally restricted to one project."""
+        if project is None:
+            return list(self._queue)
+        return [job for job in self._queue if job.project == project]
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+
+    def drain(self, max_jobs: int | None = None) -> list[CompletedJob]:
+        """Process queued jobs through the batched wave scheduler.
+
+        Jobs are grouped per project (preserving submission order within a
+        project) and each group runs through that project's
+        :meth:`AnnotationPipeline.annotate_many`.  Returns the completed jobs
+        in the order they were processed.
+        """
+        if max_jobs is not None and max_jobs < 0:
+            raise PipelineError("max_jobs cannot be negative")
+        taken = self._queue if max_jobs is None else self._queue[:max_jobs]
+        self._queue = [] if max_jobs is None else self._queue[len(taken):]
+        if not taken:
+            return []
+
+        by_project: dict[str, list[AnnotationJob]] = {}
+        for job in taken:
+            by_project.setdefault(job.project, []).append(job)
+
+        completed: list[CompletedJob] = []
+        for project, jobs in by_project.items():
+            pipeline = self._pipelines[project]
+            records = pipeline.annotate_many(
+                [job.sql for job in jobs],
+                query_ids=[job.query_id for job in jobs],
+            )
+            run = pipeline.last_run_stats
+            self.stats.waves += run.waves
+            self.stats.batched_queries += run.batched_queries
+            self.stats.regenerated_queries += run.regenerated_queries
+            completed.extend(
+                CompletedJob(job=job, record=record)
+                for job, record in zip(jobs, records)
+            )
+        self.stats.completed += len(completed)
+        self._refresh_usage()
+        return completed
+
+    def _refresh_usage(self) -> None:
+        """Rebuild the per-model usage view from every pipeline's accounting.
+
+        Pipelines with the same model name (e.g. two projects both on
+        ``gpt-4o``) aggregate into one row; per-LLM usage is cumulative, so
+        rebuilding from scratch keeps the totals exact.
+        """
+        totals: dict[str, UsageStats] = {}
+        seen: set[int] = set()
+        for pipeline in self._pipelines.values():
+            usage = pipeline.llm.usage
+            if id(usage) in seen:  # one LLM client shared across projects
+                continue
+            seen.add(id(usage))
+            model = usage.model_name or pipeline.llm.name
+            aggregate = totals.setdefault(model, UsageStats(model_name=model))
+            aggregate.merge(usage)
+        self.stats.usage_by_model = totals

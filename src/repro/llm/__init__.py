@@ -5,6 +5,7 @@ from repro.llm.base import (
     LLMClient,
     MODEL_PROFILES,
     ModelProfile,
+    UsageStats,
     get_profile,
 )
 from repro.llm.knowledge import FailurePattern, KnowledgeBase, KnowledgeEntry
@@ -39,6 +40,7 @@ __all__ = [
     "PromptBuilder",
     "QueryFact",
     "SimulatedLLM",
+    "UsageStats",
     "describe_query",
     "extract_facts",
     "fact_coverage",

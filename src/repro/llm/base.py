@@ -30,14 +30,112 @@ class GenerationResult:
         return self.candidates[0] if self.candidates else ""
 
 
+@dataclass
+class UsageStats:
+    """Per-model accounting of generation traffic.
+
+    ``requests`` counts API round trips, so a batched call that processes
+    twenty prompts adds twenty to ``prompts`` but only one to ``requests`` —
+    the ratio is exactly the amortisation a batch endpoint buys.
+    """
+
+    model_name: str = ""
+    requests: int = 0
+    batches: int = 0
+    prompts: int = 0
+    prompt_tokens: int = 0
+    candidates: int = 0
+    latency_seconds: float = 0.0
+
+    def record(
+        self,
+        prompts: int,
+        prompt_tokens: int,
+        candidates: int,
+        latency_seconds: float,
+        batched: bool = False,
+    ) -> None:
+        """Fold one generation call (single or batched) into the totals."""
+        self.requests += 1
+        self.prompts += prompts
+        self.prompt_tokens += prompt_tokens
+        self.candidates += candidates
+        self.latency_seconds += latency_seconds
+        if batched:
+            self.batches += 1
+
+    def merge(self, other: "UsageStats") -> None:
+        """Accumulate another tracker's totals into this one."""
+        self.requests += other.requests
+        self.batches += other.batches
+        self.prompts += other.prompts
+        self.prompt_tokens += other.prompt_tokens
+        self.candidates += other.candidates
+        self.latency_seconds += other.latency_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average prompts per request (1.0 for a purely sequential client)."""
+        return self.prompts / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for reports and service stats."""
+        return {
+            "model_name": self.model_name,
+            "requests": self.requests,
+            "batches": self.batches,
+            "prompts": self.prompts,
+            "prompt_tokens": self.prompt_tokens,
+            "candidates": self.candidates,
+            "latency_seconds": self.latency_seconds,
+        }
+
+
 class LLMClient(abc.ABC):
     """Interface every candidate-generation backend implements."""
 
     name: str = "llm"
 
+    #: Whether :meth:`generate` output depends on the *content* of the few-shot
+    #: examples in the prompt (and not just on how many there are).  Batch
+    #: schedulers use this to decide how strictly a speculatively-generated
+    #: result must be re-validated after the example archive has grown: a
+    #: ``False`` here lets them revalidate on example count alone.  Leave
+    #: ``True`` unless the implementation provably ignores example text.
+    example_content_sensitive: bool = True
+
+    @property
+    def usage(self) -> UsageStats:
+        """Aggregated token/latency accounting for this client.
+
+        Created lazily so existing subclasses need no ``__init__`` changes.
+        """
+        stats = getattr(self, "_usage_stats", None)
+        if stats is None:
+            stats = UsageStats(model_name=self.name)
+            self._usage_stats = stats
+        return stats
+
     @abc.abstractmethod
     def generate(self, prompt: Prompt) -> GenerationResult:
         """Generate ``prompt.num_candidates`` natural-language candidates."""
+
+    def generate_batch(self, prompts: list[Prompt]) -> list[GenerationResult]:
+        """Generate candidates for several prompts in one logical call.
+
+        The default falls back to sequential :meth:`generate` calls so every
+        backend supports the batch entry point; backends with a real batch
+        API (or work worth amortising) should override it.  Results are
+        positionally aligned with ``prompts``.
+
+        Accounting convention: :meth:`generate` implementations record their
+        own per-request usage, so the fallback leaves ``requests`` to them
+        (a fallback "batch" of twenty prompts really is twenty round trips)
+        and only marks that a batch-shaped call happened.
+        """
+        results = [self.generate(prompt) for prompt in prompts]
+        self.usage.batches += 1
+        return results
 
     @abc.abstractmethod
     def backtranslate(self, description: str, schema_text: str = "") -> str | None:

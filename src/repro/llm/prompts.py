@@ -29,6 +29,10 @@ class Prompt:
     priorities: list[str] = field(default_factory=list)
     num_candidates: int = 4
     ambiguous_columns: dict[str, list[str]] = field(default_factory=dict)
+    #: Optional pre-parsed AST of :attr:`sql`.  Purely an optimisation hint
+    #: (backends may use it to skip re-parsing); excluded from equality so
+    #: prompts compare on content alone.
+    ast: object | None = field(default=None, compare=False, repr=False)
 
     def render(self) -> str:
         """Render the prompt as text (few-shot, instruction-first)."""
@@ -90,6 +94,7 @@ class PromptBuilder:
         context: RetrievedContext | None = None,
         knowledge: KnowledgeBase | None = None,
         priorities: list[str] | None = None,
+        ast: object | None = None,
     ) -> Prompt:
         """Build a SQL-to-NL prompt.
 
@@ -119,6 +124,7 @@ class PromptBuilder:
             priorities=list(priorities or []),
             num_candidates=self.num_candidates,
             ambiguous_columns=ambiguous,
+            ast=ast,
         )
 
     def build_backtranslation(self, nl: str, schema_text: str = "") -> Prompt:

@@ -17,13 +17,16 @@ any external API.
 from __future__ import annotations
 
 import hashlib
+import time
 
 from repro.llm.base import GenerationResult, LLMClient, ModelProfile, get_profile
 from repro.llm.knowledge import KnowledgeBase
 from repro.llm.nl2sql import NLToSQLGenerator
 from repro.llm.prompts import Prompt
-from repro.llm.sql2nl import describe_query, extract_facts
+from repro.llm.sql2nl import describe_facts, describe_query, extract_facts
 from repro.schema.ddl_parser import parse_ddl_script
+from repro.sql.ast_nodes import Select
+from repro.sql.printer import print_select
 from repro.schema.model import DatabaseSchema
 from repro.sql.analyzer import analyze_query
 from repro.sql.parser import parse_select
@@ -49,6 +52,11 @@ class SimulatedLLM(LLMClient):
         knowledge: Optional knowledge base consulted during generation.
     """
 
+    #: The simulated fidelity model uses the few-shot examples only through
+    #: ``min(1, len(examples) / 3)`` — never their text — so batch schedulers
+    #: may revalidate speculative generations on example count alone.
+    example_content_sensitive = False
+
     def __init__(
         self,
         model_name: str = "gpt-4o",
@@ -67,22 +75,109 @@ class SimulatedLLM(LLMClient):
 
     def generate(self, prompt: Prompt) -> GenerationResult:
         """Generate candidate descriptions for the SQL in the prompt."""
+        started = time.perf_counter()
         self.call_count += 1
+        result = self._generate_one(prompt)
+        self.usage.record(
+            prompts=1,
+            prompt_tokens=result.prompt_tokens,
+            candidates=len(result.candidates),
+            latency_seconds=time.perf_counter() - started,
+        )
+        return result
+
+    def generate_batch(self, prompts: list[Prompt]) -> list[GenerationResult]:
+        """Generate candidates for a whole wave of prompts in one call.
+
+        This is the genuinely batched path: the call counts as *one* model
+        round trip, prompts with identical content are generated once and the
+        per-prompt SQL parse is shared across all of that prompt's candidates.
+        Outputs are bit-identical to calling :meth:`generate` per prompt.
+        """
+        if not prompts:
+            return []
+        started = time.perf_counter()
+        self.call_count += 1
+        results: list[GenerationResult] = []
+        memo: dict[tuple[object, ...], GenerationResult] = {}
+        for prompt in prompts:
+            key = self._prompt_key(prompt)
+            cached = memo.get(key)
+            if cached is None:
+                cached = self._generate_one(prompt)
+                memo[key] = cached
+            # Re-wrap so callers mutating one result cannot corrupt another.
+            results.append(
+                GenerationResult(
+                    candidates=list(cached.candidates),
+                    model_name=cached.model_name,
+                    prompt_tokens=cached.prompt_tokens,
+                    metadata=dict(cached.metadata),
+                )
+            )
+        self.usage.record(
+            prompts=len(prompts),
+            prompt_tokens=sum(result.prompt_tokens for result in results),
+            candidates=sum(len(result.candidates) for result in results),
+            latency_seconds=time.perf_counter() - started,
+            batched=True,
+        )
+        return results
+
+    @staticmethod
+    def _prompt_key(prompt: Prompt) -> tuple[object, ...]:
+        """Hashable identity of everything that influences generation."""
+        return (
+            prompt.sql,
+            prompt.task,
+            prompt.schema_text,
+            tuple(prompt.examples),
+            prompt.knowledge,
+            tuple(prompt.priorities),
+            prompt.num_candidates,
+            tuple(sorted((k, tuple(v)) for k, v in prompt.ambiguous_columns.items())),
+        )
+
+    def _generate_one(self, prompt: Prompt) -> GenerationResult:
+        """Candidate generation shared by the single and batched entry points."""
         fidelity = self.effective_fidelity(prompt)
         candidates: list[str] = []
         knowledge = self._knowledge if prompt.has_knowledge else None
+        try:
+            # Parse and extract facts once, reused by every candidate; parsing
+            # and fact extraction are deterministic, so candidates are
+            # identical to the parse-per-candidate path.  A pre-parsed AST on
+            # the prompt (attached by the batch scheduler) skips the parse.
+            select = prompt.ast if isinstance(prompt.ast, Select) else parse_select(prompt.sql)
+            facts = extract_facts(select)
+        except Exception:
+            select = None
+            facts = None
+        sql_text = ""
+        if facts is not None and knowledge is not None:
+            sql_text = print_select(select)
         for index in range(max(1, prompt.num_candidates)):
             # Later candidates explore lower-fidelity paraphrases; the first
             # candidate is the model's best effort.
             candidate_fidelity = max(0.05, fidelity - 0.06 * index)
             jitter = (_stable_unit(self.name, prompt.sql, index) - 0.5) * 0.06
             candidate_fidelity = min(1.0, max(0.05, candidate_fidelity + jitter))
-            text = describe_query(
-                prompt.sql,
-                fidelity=candidate_fidelity,
-                seed=(self.name, index),
-                knowledge=knowledge,
-            )
+            if facts is not None:
+                text = describe_facts(
+                    facts,
+                    fidelity=candidate_fidelity,
+                    seed=(self.name, index),
+                    knowledge=knowledge,
+                    sql_text=sql_text,
+                )
+            else:
+                # Unparseable SQL: preserve the original (raising) behaviour.
+                text = describe_query(
+                    prompt.sql,
+                    fidelity=candidate_fidelity,
+                    seed=(self.name, index),
+                    knowledge=knowledge,
+                )
             if text not in candidates:
                 candidates.append(text)
         return GenerationResult(

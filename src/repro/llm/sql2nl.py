@@ -588,13 +588,31 @@ def describe_query(
     """
     select = parse_select(query) if isinstance(query, str) else query
     facts = extract_facts(select)
-    kept = select_facts(facts, fidelity, seed)
-    text = render_facts(kept)
-
+    sql_text = ""
     if knowledge is not None:
         from repro.sql.printer import print_select
 
         sql_text = print_select(select)
+    return describe_facts(facts, fidelity=fidelity, seed=seed, knowledge=knowledge, sql_text=sql_text)
+
+
+def describe_facts(
+    facts: list[QueryFact],
+    fidelity: float = 1.0,
+    seed: object = 0,
+    knowledge: KnowledgeBase | None = None,
+    sql_text: str = "",
+) -> str:
+    """:func:`describe_query` over pre-extracted facts.
+
+    Lets callers that generate several candidates from one query (at varying
+    fidelity/seed) parse and extract facts once instead of per candidate.
+    ``sql_text`` is only consulted for knowledge-term matching.
+    """
+    kept = select_facts(facts, fidelity, seed)
+    text = render_facts(kept)
+
+    if knowledge is not None:
         entries = knowledge.relevant_entries(sql_text, limit=2)
         if entries:
             clarifications = "; ".join(

@@ -13,6 +13,13 @@ hashed bag-of-features embedding:
 This preserves exactly the property RAG needs — lexically/structurally
 similar SQL or NL ends up close together — while being dependency-free and
 fully reproducible.
+
+The implementation is layered for throughput: per-text tokenisation/hashing
+is cached as an IDF-independent *feature profile* (it survives vocabulary
+growth), document frequencies live in a numpy array indexed by interned
+feature id (so IDF weighting is vectorized), and finished vectors sit in an
+LRU cache that is invalidated whenever :meth:`EmbeddingModel.observe` shifts
+the IDF table.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.retrieval.cache import LruDict
 from repro.retrieval.text import character_ngrams, tokenize_text
 
 
@@ -33,6 +41,20 @@ def _stable_hash(feature: str) -> int:
 
 
 @dataclass
+class _FeatureProfile:
+    """IDF-independent part of a text's embedding.
+
+    Tokenisation, n-gram extraction and feature hashing depend only on the
+    text, so they are computed once and reused even as the IDF table drifts;
+    only the (vectorized) IDF weighting is applied per embed.
+    """
+
+    feature_ids: np.ndarray  # interned id per unique feature, first-seen order
+    indices: np.ndarray  # hashed vector index per feature
+    signed_counts: np.ndarray  # sign * (1 + log(count)) per feature
+
+
+@dataclass
 class EmbeddingModel:
     """Hashed bag-of-features embedder with incremental IDF weighting.
 
@@ -40,12 +62,27 @@ class EmbeddingModel:
         dimensions: Size of the output vectors.
         use_ngrams: Whether to add character trigram features (helps match
             abbreviations such as ``acad_term`` vs "academic term").
+        cache_size: Capacity of the vector and feature-profile LRU caches.
     """
 
     dimensions: int = 256
     use_ngrams: bool = True
+    cache_size: int = 2048
     _document_count: int = 0
-    _document_frequency: dict[str, int] = field(default_factory=dict)
+    # feature string -> (id, hashed vector index, sign); hashing runs once
+    # per unique feature for the lifetime of the model.
+    _feature_meta: dict[str, tuple[int, int, float]] = field(default_factory=dict, repr=False)
+    _frequencies: np.ndarray = field(
+        default_factory=lambda: np.zeros(1024, dtype=np.float64), repr=False
+    )
+    _cache: LruDict[str, np.ndarray] = field(default=None, repr=False)  # type: ignore[assignment]
+    _cache_hits: int = 0
+    _cache_misses: int = 0
+    _profiles: LruDict[str, _FeatureProfile] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._cache = LruDict(self.cache_size)
+        self._profiles = LruDict(self.cache_size)
 
     def features(self, text: str) -> list[str]:
         """Extract the feature strings for a text."""
@@ -55,35 +92,34 @@ class EmbeddingModel:
         return features
 
     def observe(self, text: str) -> None:
-        """Update document-frequency statistics with one document."""
-        self._document_count += 1
-        for feature in set(self.features(text)):
-            self._document_frequency[feature] = self._document_frequency.get(feature, 0) + 1
+        """Update document-frequency statistics with one document.
 
-    def _idf(self, feature: str) -> float:
-        if self._document_count == 0:
-            return 1.0
-        frequency = self._document_frequency.get(feature, 0)
-        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+        IDF weights shift with every observation, so any cached embedding
+        *vectors* are invalidated here; cached feature profiles stay valid
+        (they are IDF-independent).
+        """
+        self._document_count += 1
+        profile = self._profile(text)
+        np.add.at(self._frequencies, profile.feature_ids, 1.0)
+        self._cache.clear()
 
     def embed(self, text: str) -> np.ndarray:
-        """Embed a text into a normalised dense vector."""
-        vector = np.zeros(self.dimensions, dtype=np.float64)
-        features = self.features(text)
-        if not features:
-            return vector
-        counts: dict[str, int] = {}
-        for feature in features:
-            counts[feature] = counts.get(feature, 0) + 1
-        for feature, count in counts.items():
-            weight = (1.0 + math.log(count)) * self._idf(feature)
-            hashed = _stable_hash(feature)
-            index = hashed % self.dimensions
-            sign = 1.0 if (hashed >> 32) % 2 == 0 else -1.0
-            vector[index] += sign * weight
-        norm = float(np.linalg.norm(vector))
-        if norm > 0:
-            vector /= norm
+        """Embed a text into a normalised dense vector.
+
+        Results are served from an LRU cache keyed on the raw text; the cache
+        is cleared whenever :meth:`observe` changes the IDF table, so a cached
+        vector is always identical to a freshly computed one.  The returned
+        array is marked read-only — callers needing a private copy should
+        ``.copy()`` it.
+        """
+        cached = self._cache.get(text)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        vector = self._embed_uncached(text)
+        vector.setflags(write=False)
+        self._cache.put(text, vector)
         return vector
 
     def embed_batch(self, texts: list[str]) -> np.ndarray:
@@ -91,6 +127,82 @@ class EmbeddingModel:
         if not texts:
             return np.zeros((0, self.dimensions), dtype=np.float64)
         return np.vstack([self.embed(text) for text in texts])
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters for the embedding-vector cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "max_size": self.cache_size,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _profile(self, text: str) -> _FeatureProfile:
+        """Cached tokenisation + hashing for one text (IDF-independent)."""
+        profile = self._profiles.get(text)
+        if profile is not None:
+            return profile
+        counts: dict[str, int] = {}
+        for feature in self.features(text):
+            counts[feature] = counts.get(feature, 0) + 1
+        feature_ids = np.empty(len(counts), dtype=np.intp)
+        indices = np.empty(len(counts), dtype=np.intp)
+        signed_counts = np.empty(len(counts), dtype=np.float64)
+        for position, (feature, count) in enumerate(counts.items()):
+            feature_id, index, sign = self._intern(feature)
+            feature_ids[position] = feature_id
+            indices[position] = index
+            signed_counts[position] = sign * (1.0 + math.log(count))
+        profile = _FeatureProfile(
+            feature_ids=feature_ids, indices=indices, signed_counts=signed_counts
+        )
+        self._profiles.put(text, profile)
+        return profile
+
+    def _intern(self, feature: str) -> tuple[int, int, float]:
+        """(id, vector index, sign) for a feature; grows the DF table as needed."""
+        meta = self._feature_meta.get(feature)
+        if meta is None:
+            feature_id = len(self._feature_meta)
+            hashed = _stable_hash(feature)
+            meta = (
+                feature_id,
+                hashed % self.dimensions,
+                1.0 if (hashed >> 32) % 2 == 0 else -1.0,
+            )
+            self._feature_meta[feature] = meta
+            if feature_id >= self._frequencies.shape[0]:
+                grown = np.zeros(self._frequencies.shape[0] * 2, dtype=np.float64)
+                grown[: self._frequencies.shape[0]] = self._frequencies
+                self._frequencies = grown
+        return meta
+
+    def _embed_uncached(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        profile = self._profile(text)
+        if profile.feature_ids.size == 0:
+            return vector
+        if self._document_count == 0:
+            idf = 1.0
+        else:
+            idf = (
+                np.log(
+                    (1 + self._document_count)
+                    / (1.0 + self._frequencies[profile.feature_ids])
+                )
+                + 1.0
+            )
+        vector += np.bincount(
+            profile.indices, weights=profile.signed_counts * idf, minlength=self.dimensions
+        )
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
 
 
 def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:

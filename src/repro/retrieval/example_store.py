@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RetrievalError
+from repro.retrieval.cache import LruDict
 from repro.retrieval.embedding import EmbeddingModel
 from repro.retrieval.vector_store import SearchHit, VectorStore
 from repro.sql.normalizer import query_skeleton
@@ -36,7 +37,11 @@ class ExampleStore:
         self._store = VectorStore(model)
         self._examples: dict[str, AnnotatedExample] = {}
         self._skeletons: dict[str, str] = {}
+        self._query_skeletons: LruDict[str, str] = LruDict(2048)
         self._counter = 0
+        #: Monotonic mutation counter; batch schedulers compare versions to
+        #: prove that retrieval results taken earlier are still current.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._examples)
@@ -62,7 +67,8 @@ class ExampleStore:
             quality=quality,
         )
         self._examples[example_id] = example
-        self._skeletons[example_id] = query_skeleton(sql)
+        self._skeletons[example_id] = self._query_skeleton(example.sql)
+        self.version += 1
         # Index on the SQL text plus the NL so either side retrieves the pair.
         self._store.add(
             example_id,
@@ -97,10 +103,74 @@ class ExampleStore:
         if self.is_empty:
             return []
         metadata_filter = {"dataset": dataset} if dataset else None
-        skeleton = query_skeleton(sql)
         hits: list[SearchHit] = self._store.search(
             sql, top_k=top_k + 5, metadata_filter=metadata_filter
         )
+        return self._hits_to_examples(sql, hits, top_k, exclude_identical)
+
+    def retrieve_many(
+        self,
+        sqls: list[str],
+        top_k: int = 3,
+        dataset: str | None = None,
+        exclude_identical: bool = True,
+    ) -> list[list[AnnotatedExample]]:
+        """Batched :meth:`retrieve` for a wave of queries.
+
+        All queries are scored against the store in one matrix product; the
+        per-query post-processing matches the scalar path exactly.
+        """
+        if not sqls:
+            return []
+        if self.is_empty:
+            return [[] for _ in sqls]
+        metadata_filter = {"dataset": dataset} if dataset else None
+        hit_lists = self._store.search_batch(
+            sqls, top_k=top_k + 5, metadata_filter=metadata_filter
+        )
+        return [
+            self._hits_to_examples(sql, hits, top_k, exclude_identical)
+            for sql, hits in zip(sqls, hit_lists)
+        ]
+
+    def retrieve_count(
+        self,
+        sql: str,
+        top_k: int = 3,
+        dataset: str | None = None,
+        exclude_identical: bool = True,
+    ) -> int:
+        """How many examples :meth:`retrieve` would return right now.
+
+        A light-weight variant used by batch-commit validation: it runs the
+        same ranked search but materialises no hit objects.
+        """
+        if self.is_empty:
+            return 0
+        metadata_filter = {"dataset": dataset} if dataset else None
+        doc_ids = self._store.search_ids(sql, top_k=top_k + 5, metadata_filter=metadata_filter)
+        skeleton = self._query_skeleton(sql) if exclude_identical else ""
+        count = 0
+        for doc_id in doc_ids:
+            if exclude_identical and self._skeletons[doc_id] == skeleton:
+                continue
+            count += 1
+            if count >= top_k:
+                break
+        return count
+
+    def _query_skeleton(self, sql: str) -> str:
+        """LRU-cached :func:`query_skeleton` (tokenisation is the hot cost)."""
+        skeleton = self._query_skeletons.get(sql)
+        if skeleton is None:
+            skeleton = query_skeleton(sql)
+            self._query_skeletons.put(sql, skeleton)
+        return skeleton
+
+    def _hits_to_examples(
+        self, sql: str, hits: list[SearchHit], top_k: int, exclude_identical: bool
+    ) -> list[AnnotatedExample]:
+        skeleton = self._query_skeleton(sql) if exclude_identical else ""
         results: list[AnnotatedExample] = []
         for hit in hits:
             example = self._examples[hit.doc_id]

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.retrieval.cache import LruDict
 from repro.retrieval.example_store import AnnotatedExample, ExampleStore
 from repro.schema.linking import link_sql_to_schema, link_text_to_schema
 from repro.schema.model import DatabaseSchema, TableSchema
+from repro.sql.normalizer import lexical_normalize
 
 
 @dataclass
@@ -51,11 +53,21 @@ class ContextRetriever:
         example_store: ExampleStore | None = None,
         top_k_examples: int = 3,
         max_tables: int = 8,
+        linking_cache_size: int = 4096,
     ) -> None:
         self._schema = schema
         self._example_store = example_store or ExampleStore()
         self.top_k_examples = top_k_examples
         self.max_tables = max_tables
+        # Schema linking depends only on the (static) schema and the query
+        # text, so results are cached keyed on lexically-normalised SQL —
+        # repeated retrieval of the same or trivially-reformatted query skips
+        # parsing and linking entirely.
+        self._linking_cache: LruDict[
+            str, tuple[list[TableSchema], list[str], dict[str, list[str]]]
+        ] = LruDict(linking_cache_size)
+        self._linking_hits = 0
+        self._linking_misses = 0
 
     @property
     def example_store(self) -> ExampleStore:
@@ -69,11 +81,10 @@ class ContextRetriever:
 
     def retrieve(self, sql: str, dataset: str | None = None) -> RetrievedContext:
         """Build the retrieval context for one SQL query."""
-        tables, unresolved = self._relevant_tables(sql)
+        tables, unresolved, ambiguous = self._linked(sql)
         examples = self._example_store.retrieve(
             sql, top_k=self.top_k_examples, dataset=dataset
         )
-        ambiguous = self._ambiguous_among(tables)
         return RetrievedContext(
             sql=sql,
             tables=tables,
@@ -82,20 +93,98 @@ class ContextRetriever:
             unresolved_tables=unresolved,
         )
 
+    def retrieve_batch(
+        self,
+        sqls: list[str],
+        dataset: str | None = None,
+        asts: list[object] | None = None,
+    ) -> list[RetrievedContext]:
+        """Build retrieval contexts for a wave of queries.
+
+        Example retrieval for the whole wave is one matrix product against
+        the store; schema linking hits the per-query cache.  ``asts`` may
+        supply already-parsed :class:`~repro.sql.ast_nodes.Select` nodes
+        (positionally aligned, ``None`` entries allowed) so cache misses skip
+        re-parsing.  Equivalent to calling :meth:`retrieve` per query against
+        the same store state.
+        """
+        example_lists = self._example_store.retrieve_many(
+            sqls, top_k=self.top_k_examples, dataset=dataset
+        )
+        contexts: list[RetrievedContext] = []
+        for index, (sql, examples) in enumerate(zip(sqls, example_lists)):
+            ast = asts[index] if asts is not None else None
+            tables, unresolved, ambiguous = self._linked(sql, ast=ast)
+            contexts.append(
+                RetrievedContext(
+                    sql=sql,
+                    tables=tables,
+                    examples=examples,
+                    ambiguous_columns=ambiguous,
+                    unresolved_tables=unresolved,
+                )
+            )
+        return contexts
+
     def record_annotation(
         self, sql: str, nl: str, dataset: str = "", quality: float = 1.0
     ) -> AnnotatedExample:
         """Store an accepted annotation so future retrievals can use it."""
-        tables, _ = self._relevant_tables(sql)
+        tables, _, _ = self._linked(sql)
         return self._example_store.add(
             sql, nl, dataset=dataset, tables=[table.name for table in tables], quality=quality
         )
 
+    def linking_cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters for the schema-linking cache."""
+        return {
+            "hits": self._linking_hits,
+            "misses": self._linking_misses,
+            "size": len(self._linking_cache),
+            "max_size": self._linking_cache.max_size,
+        }
+
     # ------------------------------------------------------------------
 
-    def _relevant_tables(self, sql: str) -> tuple[list[TableSchema], list[str]]:
+    def example_count(self, sql: str, dataset: str | None = None) -> int:
+        """How many few-shot examples :meth:`retrieve` would return right now."""
+        return self._example_store.retrieve_count(
+            sql, top_k=self.top_k_examples, dataset=dataset
+        )
+
+    def _linked(
+        self, sql: str, ast: object | None = None
+    ) -> tuple[list[TableSchema], list[str], dict[str, list[str]]]:
+        """Cached (tables, unresolved, ambiguous-columns) for one query.
+
+        Entries are stored under the lexically-normalised SQL (so reformatted
+        duplicates share one entry) and aliased under the exact text, which
+        keeps repeat lookups free of tokenisation.
+        """
+        cached = self._linking_cache.get(sql)
+        if cached is None:
+            normalized = lexical_normalize(sql)
+            cached = self._linking_cache.get(normalized)
+            if cached is not None:
+                self._linking_cache.put(sql, cached)  # exact-text alias
+        if cached is not None:
+            self._linking_hits += 1
+            tables, unresolved, ambiguous = cached
+            return list(tables), list(unresolved), dict(ambiguous)
+        self._linking_misses += 1
+        tables, unresolved = self._relevant_tables(sql, ast=ast)
+        ambiguous = self._ambiguous_among(tables)
+        entry = (tables, unresolved, ambiguous)
+        self._linking_cache.put(normalized, entry)
+        if sql != normalized:
+            self._linking_cache.put(sql, entry)
+        return list(tables), list(unresolved), dict(ambiguous)
+
+    def _relevant_tables(
+        self, sql: str, ast: object | None = None
+    ) -> tuple[list[TableSchema], list[str]]:
         try:
-            linking = link_sql_to_schema(sql, self._schema)
+            linking = link_sql_to_schema(ast if ast is not None else sql, self._schema)
         except Exception:
             linking = link_text_to_schema(sql, self._schema, max_tables=self.max_tables)
         tables: list[TableSchema] = []

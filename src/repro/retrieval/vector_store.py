@@ -1,8 +1,14 @@
-"""A small in-memory vector store with cosine top-k search.
+"""An in-memory vector store with vectorized cosine top-k search.
 
 BenchPress stores uploaded SQL logs and accumulated annotations server-side so
 RAG has global access to all documents (paper step 2); this class plays that
 role for the reproduction.
+
+Vectors live in one contiguous ``(capacity, dimensions)`` numpy matrix that
+grows geometrically as documents are appended, so a search is a single
+matrix-vector product followed by ``argpartition`` top-k selection instead of
+a Python loop over entries.  Removals tombstone their row and the matrix is
+compacted lazily once tombstones dominate.
 """
 
 from __future__ import annotations
@@ -13,6 +19,11 @@ import numpy as np
 
 from repro.errors import RetrievalError
 from repro.retrieval.embedding import EmbeddingModel
+
+#: Initial number of matrix rows; doubled whenever the store outgrows it.
+_INITIAL_CAPACITY = 64
+#: Fraction of dead rows that triggers lazy compaction on remove.
+_COMPACT_THRESHOLD = 0.5
 
 
 @dataclass
@@ -41,6 +52,15 @@ class VectorStore:
     def __init__(self, model: EmbeddingModel | None = None) -> None:
         self._model = model or EmbeddingModel()
         self._entries: dict[str, VectorEntry] = {}
+        self._matrix = np.zeros((_INITIAL_CAPACITY, self._model.dimensions), dtype=np.float64)
+        self._row_ids: list[str | None] = []  # row index -> doc_id (None = tombstone)
+        self._row_of: dict[str, int] = {}  # doc_id -> row index
+        self._dead_rows = 0
+        self._alive = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        # Lazily-registered boolean row masks, one per (key, value) pair seen
+        # in a metadata_filter; kept current on add/remove so filtered search
+        # stays a numpy AND instead of a Python loop over entries.
+        self._meta_masks: dict[tuple[str, object], np.ndarray] = {}
 
     @property
     def model(self) -> EmbeddingModel:
@@ -53,34 +73,57 @@ class VectorStore:
     def __contains__(self, doc_id: str) -> bool:
         return doc_id in self._entries
 
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
     def add(self, doc_id: str, text: str, metadata: dict[str, object] | None = None) -> None:
         """Add (or replace) a document."""
         if not doc_id:
             raise RetrievalError("document id must be non-empty")
         self._model.observe(text)
-        self._entries[doc_id] = VectorEntry(
-            doc_id=doc_id,
-            text=text,
-            vector=self._model.embed(text),
-            metadata=dict(metadata or {}),
-        )
+        self._store_entry(doc_id, text, self._model.embed(text), metadata)
 
     def add_many(self, documents: list[tuple[str, str, dict[str, object]]]) -> None:
-        """Add several ``(doc_id, text, metadata)`` documents."""
+        """Add several ``(doc_id, text, metadata)`` documents.
+
+        All texts are observed *before* any is embedded, so every vector in
+        the batch is computed under the same (final) vocabulary instead of
+        earlier documents seeing a smaller IDF table than later ones.
+        """
+        for doc_id, _, _ in documents:
+            if not doc_id:
+                raise RetrievalError("document id must be non-empty")
+        for _, text, _ in documents:
+            self._model.observe(text)
         for doc_id, text, metadata in documents:
-            self.add(doc_id, text, metadata)
+            self._store_entry(doc_id, text, self._model.embed(text), metadata)
 
     def remove(self, doc_id: str) -> None:
         """Remove a document; unknown ids raise."""
         if doc_id not in self._entries:
             raise RetrievalError(f"unknown document id {doc_id!r}")
         del self._entries[doc_id]
+        row = self._row_of.pop(doc_id)
+        self._row_ids[row] = None
+        self._alive[row] = False
+        self._dead_rows += 1
+        if (
+            self._dead_rows >= 8
+            and self._row_ids
+            and self._dead_rows / len(self._row_ids) > _COMPACT_THRESHOLD
+        ):
+            self._compact()
 
     def get(self, doc_id: str) -> VectorEntry:
         """Fetch a stored document."""
         if doc_id not in self._entries:
             raise RetrievalError(f"unknown document id {doc_id!r}")
         return self._entries[doc_id]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
 
     def search(
         self,
@@ -95,32 +138,204 @@ class VectorStore:
         ``metadata_filter`` keeps only documents whose metadata contains every
         given key/value pair; ``exclude_ids`` removes specific documents (used
         to avoid retrieving the query itself during leave-one-out evaluation).
+        Ties are broken by ascending ``doc_id`` for reproducibility.
         """
         if top_k <= 0 or not self._entries:
             return []
         query_vector = self._model.embed(query)
+        scores = self._matrix[: len(self._row_ids)] @ query_vector
+        return self._rows_to_hits(
+            self._select_rows(scores, top_k, metadata_filter, exclude_ids, min_score), scores
+        )
+
+    def search_ids(
+        self,
+        query: str,
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[str]:
+        """Like :meth:`search` but returns only the ranked document ids.
+
+        Used on hot paths (e.g. batch-commit validation) that need the result
+        ranking but not hit objects with copied metadata.
+        """
+        if top_k <= 0 or not self._entries:
+            return []
+        query_vector = self._model.embed(query)
+        scores = self._matrix[: len(self._row_ids)] @ query_vector
+        rows = self._select_rows(scores, top_k, metadata_filter, exclude_ids, min_score)
+        return [self._row_ids[row] for row in rows]
+
+    def search_batch(
+        self,
+        queries: list[str],
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[list[SearchHit]]:
+        """Run :meth:`search` for several queries with one matrix product.
+
+        The queries are embedded together (cache-aware) and scored with the
+        *same* matrix-vector expression as :meth:`search`, so batched scores
+        are bit-identical to scalar ones — batch schedulers rely on that for
+        their sequential-parity guarantee.  Results align positionally with
+        ``queries``.
+        """
+        if not queries:
+            return []
+        if top_k <= 0 or not self._entries:
+            return [[] for _ in queries]
+        documents = self._matrix[: len(self._row_ids)]
+        results: list[list[SearchHit]] = []
+        for query in queries:
+            scores = documents @ self._model.embed(query)
+            results.append(
+                self._rows_to_hits(
+                    self._select_rows(scores, top_k, metadata_filter, exclude_ids, min_score),
+                    scores,
+                )
+            )
+        return results
+
+    def all_ids(self) -> list[str]:
+        """Ids of every stored document (insertion order)."""
+        return list(self._entries.keys())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _store_entry(
+        self,
+        doc_id: str,
+        text: str,
+        vector: np.ndarray,
+        metadata: dict[str, object] | None,
+    ) -> None:
+        self._entries[doc_id] = VectorEntry(
+            doc_id=doc_id,
+            text=text,
+            vector=vector,
+            metadata=dict(metadata or {}),
+        )
+        row = self._row_of.get(doc_id)
+        if row is None:
+            row = len(self._row_ids)
+            if row >= self._matrix.shape[0]:
+                self._grow(row + 1)
+            self._row_ids.append(doc_id)
+            self._row_of[doc_id] = row
+        self._matrix[row] = vector
+        self._alive[row] = True
+        metadata_view = self._entries[doc_id].metadata
+        for (key, value), mask in self._meta_masks.items():
+            mask[row] = metadata_view.get(key) == value
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(_INITIAL_CAPACITY, self._matrix.shape[0])
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros((capacity, self._matrix.shape[1]), dtype=np.float64)
+        grown[: self._matrix.shape[0]] = self._matrix
+        self._matrix = grown
+        self._alive = self._grow_mask(self._alive, capacity)
+        for key in list(self._meta_masks):
+            self._meta_masks[key] = self._grow_mask(self._meta_masks[key], capacity)
+
+    @staticmethod
+    def _grow_mask(mask: np.ndarray, capacity: int) -> np.ndarray:
+        grown = np.zeros(capacity, dtype=bool)
+        grown[: mask.shape[0]] = mask
+        return grown
+
+    def _compact(self) -> None:
+        """Drop tombstoned rows, preserving the relative order of live ones."""
+        live = [row for row, doc_id in enumerate(self._row_ids) if doc_id is not None]
+        self._matrix[: len(live)] = self._matrix[live]
+        self._row_ids = [self._row_ids[row] for row in live]
+        self._row_of = {doc_id: row for row, doc_id in enumerate(self._row_ids)}
+        self._dead_rows = 0
+        self._alive[:] = False
+        self._alive[: len(live)] = True
+        for key, mask in list(self._meta_masks.items()):
+            compacted = np.zeros(mask.shape[0], dtype=bool)
+            compacted[: len(live)] = mask[live]
+            self._meta_masks[key] = compacted
+
+    def _mask_for(self, key: str, value: object) -> np.ndarray:
+        """Boolean row mask for one metadata (key, value), built lazily."""
+        try:
+            mask = self._meta_masks.get((key, value))
+        except TypeError:  # unhashable filter value: caller falls back to a scan
+            return None  # type: ignore[return-value]
+        if mask is None:
+            mask = np.zeros(self._matrix.shape[0], dtype=bool)
+            for doc_id, row in self._row_of.items():
+                mask[row] = self._entries[doc_id].metadata.get(key) == value
+            self._meta_masks[(key, value)] = mask
+        return mask
+
+    def _select_rows(
+        self,
+        scores: np.ndarray,
+        top_k: int,
+        metadata_filter: dict[str, object] | None,
+        exclude_ids: set[str] | None,
+        min_score: float,
+    ) -> list[int]:
+        """Rows of the top-k admissible documents, ranked by (-score, doc_id)."""
+        row_count = len(scores)
+        admissible = (scores >= min_score) & self._alive[:row_count]
+        if metadata_filter:
+            for key, value in metadata_filter.items():
+                mask = self._mask_for(key, value)
+                if mask is None:  # unhashable value: rare slow path
+                    admissible &= np.array(
+                        [
+                            doc_id is not None
+                            and self._entries[doc_id].metadata.get(key) == value
+                            for doc_id in self._row_ids
+                        ],
+                        dtype=bool,
+                    )
+                else:
+                    admissible &= mask[:row_count]
+        candidate_rows = np.flatnonzero(admissible)
+        if exclude_ids:
+            candidate_rows = candidate_rows[
+                [self._row_ids[row] not in exclude_ids for row in candidate_rows]
+            ]
+        if candidate_rows.size == 0:
+            return []
+
+        # Oversample the partition so doc_id tie-breaking stays exact even
+        # when equal scores straddle the top-k boundary.
+        if candidate_rows.size > top_k:
+            candidate_scores = scores[candidate_rows]
+            cut = np.argpartition(-candidate_scores, top_k - 1)[:top_k]
+            boundary = candidate_scores[cut].min()
+            keep = candidate_scores >= boundary
+            candidate_rows = candidate_rows[keep]
+
+        rows = sorted(
+            (int(row) for row in candidate_rows),
+            key=lambda row: (-scores[row], self._row_ids[row]),
+        )
+        return rows[:top_k]
+
+    def _rows_to_hits(self, rows: list[int], scores: np.ndarray) -> list[SearchHit]:
         hits: list[SearchHit] = []
-        for entry in self._entries.values():
-            if exclude_ids and entry.doc_id in exclude_ids:
-                continue
-            if metadata_filter and any(
-                entry.metadata.get(key) != value for key, value in metadata_filter.items()
-            ):
-                continue
-            score = float(np.dot(query_vector, entry.vector))
-            if score < min_score:
-                continue
+        for row in rows:
+            entry = self._entries[self._row_ids[row]]
             hits.append(
                 SearchHit(
                     doc_id=entry.doc_id,
                     text=entry.text,
-                    score=score,
+                    score=float(scores[row]),
                     metadata=dict(entry.metadata),
                 )
             )
-        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
-        return hits[:top_k]
-
-    def all_ids(self) -> list[str]:
-        """Ids of every stored document."""
-        return list(self._entries.keys())
+        return hits

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.schema.model import DatabaseSchema, TableSchema
 from repro.sql.analyzer import extract_columns, extract_tables
+from repro.sql.ast_nodes import Select
 from repro.sql.parser import parse_select
 
 
@@ -54,13 +55,15 @@ class LinkingResult:
     unresolved_columns: list[str] = field(default_factory=list)
 
 
-def link_sql_to_schema(sql: str, schema: DatabaseSchema) -> LinkingResult:
+def link_sql_to_schema(sql: str | Select, schema: DatabaseSchema) -> LinkingResult:
     """Resolve the tables/columns a SQL query references against a schema.
 
-    Tables that are referenced but absent from the schema end up in
-    ``unresolved_tables`` (a signal of schema drift in real logs).
+    Accepts either SQL text or an already-parsed :class:`Select` (linking
+    depends only on the AST, so callers that have parsed already can skip
+    the re-parse).  Tables that are referenced but absent from the schema end
+    up in ``unresolved_tables`` (a signal of schema drift in real logs).
     """
-    select = parse_select(sql)
+    select = parse_select(sql) if isinstance(sql, str) else sql
     referenced_tables = extract_tables(select)
     referenced_columns = extract_columns(select)
 

@@ -195,3 +195,226 @@ class TestContextRetriever:
         retriever = ContextRetriever(hr_schema)
         context = retriever.retrieve("employees salary report !!!")
         assert "employees" in context.table_names
+
+
+def _reference_search(store, query, top_k=5, metadata_filter=None, exclude_ids=None,
+                      min_score=0.0):
+    """The pre-vectorisation O(n) reference loop, for ranking-parity checks."""
+    query_vector = store.model.embed(query)
+    hits = []
+    for doc_id in store.all_ids():
+        entry = store.get(doc_id)
+        if exclude_ids and entry.doc_id in exclude_ids:
+            continue
+        if metadata_filter and any(
+            entry.metadata.get(key) != value for key, value in metadata_filter.items()
+        ):
+            continue
+        score = float(np.dot(query_vector, entry.vector))
+        if score < min_score:
+            continue
+        hits.append((entry.doc_id, score))
+    hits.sort(key=lambda hit: (-hit[1], hit[0]))
+    return hits[:top_k]
+
+
+class TestVectorizedStore:
+    """The matrix/argpartition search must rank exactly like the old loop."""
+
+    TEXTS = [
+        ("d01", "count students per term", {"dataset": "beaver"}),
+        ("d02", "average salary per department", {"dataset": "hr"}),
+        ("d03", "count students per campus", {"dataset": "beaver"}),
+        ("d04", "network device inventory report", {"dataset": "it"}),
+        ("d05", "count students per term", {"dataset": "beaver"}),  # exact dup of d01
+        ("d06", "salary of employees by department", {"dataset": "hr"}),
+        ("d07", "list open purchase orders", {"dataset": "erp"}),
+        ("d08", "terms with highest enrollment", {"dataset": "beaver"}),
+    ]
+
+    def _store(self):
+        store = VectorStore()
+        for doc_id, text, metadata in self.TEXTS:
+            store.add(doc_id, text, metadata)
+        return store
+
+    def _assert_matches_reference(self, store, query, **kwargs):
+        hits = store.search(query, **kwargs)
+        expected = _reference_search(store, query, **kwargs)
+        assert [(hit.doc_id, pytest.approx(hit.score)) for hit in hits] == [
+            (doc_id, pytest.approx(score)) for doc_id, score in expected
+        ]
+
+    def test_ranking_matches_reference(self):
+        store = self._store()
+        self._assert_matches_reference(store, "students enrolled per term", top_k=4)
+
+    def test_ranking_with_metadata_filter(self):
+        store = self._store()
+        self._assert_matches_reference(
+            store, "count students", top_k=3, metadata_filter={"dataset": "beaver"}
+        )
+
+    def test_ranking_with_exclude_ids(self):
+        store = self._store()
+        self._assert_matches_reference(
+            store, "count students per term", top_k=4, exclude_ids={"d01", "d03"}
+        )
+
+    def test_ranking_with_min_score(self):
+        store = self._store()
+        self._assert_matches_reference(
+            store, "count students per term", top_k=8, min_score=0.2
+        )
+
+    def test_tie_break_by_doc_id(self):
+        # add_many embeds under one shared vocabulary, so identical texts get
+        # bit-identical vectors — a true score tie.
+        store = VectorStore()
+        store.add_many(
+            [
+                ("z-dup", "count students per term", {}),
+                ("a-dup", "count students per term", {}),
+                ("other", "average salary per department", {}),
+            ]
+        )
+        hits = store.search("count students per term", top_k=2)
+        assert [hit.doc_id for hit in hits] == ["a-dup", "z-dup"]
+
+    def test_search_batch_matches_scalar_search(self):
+        store = self._store()
+        queries = ["count students", "salary by department", "purchase orders"]
+        batched = store.search_batch(queries, top_k=3)
+        for query, hits in zip(queries, batched):
+            scalar = store.search(query, top_k=3)
+            assert [hit.doc_id for hit in hits] == [hit.doc_id for hit in scalar]
+            assert [hit.score for hit in hits] == [
+                pytest.approx(hit.score) for hit in scalar
+            ]
+
+    def test_search_ids_matches_search(self):
+        store = self._store()
+        hits = store.search("count students", top_k=4)
+        assert store.search_ids("count students", top_k=4) == [hit.doc_id for hit in hits]
+
+    def test_search_after_remove_and_compaction(self):
+        store = self._store()
+        # Remove enough rows to trigger lazy compaction (threshold is 50%).
+        for doc_id in ("d01", "d03", "d05", "d07", "d08"):
+            store.remove(doc_id)
+        assert len(store) == 3
+        self._assert_matches_reference(store, "salary by department", top_k=3)
+        # The store keeps working after compaction: add again and search.
+        store.add("d09", "salary bands per department", {"dataset": "hr"})
+        self._assert_matches_reference(store, "salary bands", top_k=4)
+
+    def test_add_replaces_existing_doc(self):
+        store = self._store()
+        store.add("d04", "totally different text about invoices", {"dataset": "fin"})
+        assert len(store) == len(self.TEXTS)
+        hits = store.search("invoices", top_k=1, metadata_filter={"dataset": "fin"})
+        assert [hit.doc_id for hit in hits] == ["d04"]
+
+    def test_growth_beyond_initial_capacity(self):
+        store = VectorStore()
+        for index in range(150):  # > the 64-row initial matrix
+            store.add(f"doc-{index:03d}", f"record number {index} of the stress corpus")
+        assert len(store) == 150
+        hits = store.search("record number 42", top_k=5)
+        assert "doc-042" in [hit.doc_id for hit in hits]
+
+    def test_add_many_uses_consistent_vocabulary(self):
+        documents = [
+            ("a", "count students per term", {}),
+            ("b", "average salary per department", {}),
+            ("c", "count open tickets per queue", {}),
+        ]
+        batch_store = VectorStore(EmbeddingModel(dimensions=64))
+        batch_store.add_many(documents)
+
+        # Reference: observe every text first, then embed under the final
+        # vocabulary — every vector in the batch must match this.
+        reference_model = EmbeddingModel(dimensions=64)
+        for _, text, _ in documents:
+            reference_model.observe(text)
+        for doc_id, text, _ in documents:
+            np.testing.assert_allclose(
+                batch_store.get(doc_id).vector, reference_model.embed(text)
+            )
+
+    def test_sequential_add_differs_from_batch_for_early_docs(self):
+        # Guards the vocabulary-drift fix: sequential adds embed early docs
+        # under a smaller IDF table than add_many does.
+        documents = [
+            ("a", "count students per term", {}),
+            ("b", "average salary per department", {}),
+        ]
+        sequential = VectorStore(EmbeddingModel(dimensions=64))
+        for doc_id, text, metadata in documents:
+            sequential.add(doc_id, text, metadata)
+        batch = VectorStore(EmbeddingModel(dimensions=64))
+        batch.add_many(documents)
+        assert not np.allclose(sequential.get("a").vector, batch.get("a").vector)
+
+
+class TestRetrievalCaches:
+    def test_embedding_cache_serves_identical_vectors(self):
+        model = EmbeddingModel(dimensions=64)
+        first = model.embed("SELECT a FROM t")
+        second = model.embed("SELECT a FROM t")
+        assert second is first  # cache hit returns the same (read-only) array
+        assert model.cache_info()["hits"] >= 1
+
+    def test_observe_invalidates_embedding_cache(self):
+        # The second observation shares only part of the query's vocabulary,
+        # so IDF weighting becomes non-uniform and the direction must shift.
+        model = EmbeddingModel(dimensions=64)
+        before = model.embed("SELECT a FROM t").copy()
+        model.observe("SELECT a FROM t")
+        model.observe("SELECT b FROM t")
+        after = model.embed("SELECT a FROM t")
+        assert not np.allclose(before, after)  # IDF drift changed the vector
+        # And the refreshed vector matches an uncached computation.
+        fresh = EmbeddingModel(dimensions=64)
+        fresh.observe("SELECT a FROM t")
+        fresh.observe("SELECT b FROM t")
+        np.testing.assert_allclose(after, fresh.embed("SELECT a FROM t"))
+
+    def test_linking_cache_hits_on_repeat_queries(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        sql = "SELECT name FROM employees WHERE salary > 10"
+        first = retriever.retrieve(sql)
+        second = retriever.retrieve(sql)
+        assert first.table_names == second.table_names
+        info = retriever.linking_cache_info()
+        assert info["hits"] >= 1
+        assert info["misses"] >= 1
+
+    def test_example_count_matches_retrieve(self, hr_schema):
+        retriever = ContextRetriever(hr_schema, top_k_examples=2)
+        sql = "SELECT COUNT(*) FROM employees WHERE dept_id = 3"
+        assert retriever.example_count(sql) == 0
+        retriever.record_annotation("SELECT COUNT(*) FROM employees", "How many employees?")
+        retriever.record_annotation("SELECT name FROM employees", "All employee names.")
+        retriever.record_annotation(
+            "SELECT dept_name FROM departments", "All department names."
+        )
+        for probe in (sql, "SELECT name FROM employees WHERE salary > 5"):
+            assert retriever.example_count(probe) == len(retriever.retrieve(probe).examples)
+
+    def test_example_store_version_counts_mutations(self, hr_schema):
+        retriever = ContextRetriever(hr_schema)
+        store = retriever.example_store
+        assert store.version == 0
+        retriever.record_annotation("SELECT name FROM employees", "Names.")
+        assert store.version == 1
+
+    def test_linking_cache_respects_capacity(self, hr_schema):
+        retriever = ContextRetriever(hr_schema, linking_cache_size=4)
+        base = "SELECT name FROM employees WHERE salary > 10"
+        retriever.retrieve(base)
+        # Whitespace variants alias onto the same normalized entry; the
+        # aliases must not grow the cache past its bound.
+        for padding in range(20):
+            retriever.retrieve(base + " " * (padding + 1))
+        assert retriever.linking_cache_info()["size"] <= 4
