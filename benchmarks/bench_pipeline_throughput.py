@@ -16,7 +16,9 @@ interleaved runs to shrug off machine noise.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -94,6 +96,32 @@ def test_pipeline_throughput_batched_beats_sequential(benchmark, throughput_work
         f"  llm round trips: {stats.llm_requests} (vs {queries}+ sequential)"
     )
     print(f"mean prompts per llm request: {usage.mean_batch_size:0.1f}")
+
+    # Machine-readable report for CI trend tracking.
+    report_path = Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+    report_path.write_text(
+        json.dumps(
+            {
+                "benchmark": "pipeline_throughput",
+                "queries": queries,
+                "batch_size": BATCH_SIZE,
+                "sequential": {
+                    "seconds": round(sequential_elapsed, 4),
+                    "ops_per_sec": round(queries / sequential_elapsed, 2),
+                },
+                "batched": {
+                    "seconds": round(batched_elapsed, 4),
+                    "ops_per_sec": round(queries / batched_elapsed, 2),
+                },
+                "speedup_vs_sequential": round(sequential_elapsed / batched_elapsed, 3),
+                "waves": stats.waves,
+                "llm_round_trips": stats.llm_requests,
+                "mean_prompts_per_request": round(usage.mean_batch_size, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
     # The two paths must agree annotation-for-annotation.
     assert [

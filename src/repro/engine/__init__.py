@@ -1,7 +1,8 @@
 """In-memory relational execution engine."""
 
+from repro.engine.compiler import compile_group_expression, compile_row_expression
 from repro.engine.database import Database
-from repro.engine.executor import Executor, QueryResult, RowContext
+from repro.engine.executor import EXECUTOR_MODES, Executor, QueryResult, RowContext
 from repro.engine.functions import call_aggregate, call_scalar, is_scalar_function
 from repro.engine.storage import ColumnLabel, Relation, StoredColumn, StoredTable
 from repro.engine.types import (
@@ -16,6 +17,7 @@ from repro.engine.types import (
 __all__ = [
     "Database",
     "DataType",
+    "EXECUTOR_MODES",
     "Executor",
     "QueryResult",
     "Relation",
@@ -28,6 +30,8 @@ __all__ = [
     "call_scalar",
     "coerce_value",
     "compare_values",
+    "compile_group_expression",
+    "compile_row_expression",
     "is_numeric",
     "is_scalar_function",
     "values_equal",

@@ -4,16 +4,34 @@
 generators populate databases, the execution-accuracy metric runs gold and
 predicted SQL against them, and the backtranslation rubric re-executes
 regenerated SQL.
+
+Hot-path machinery (all transparent to callers):
+
+* an LRU **statement cache** mapping SQL text to its parsed AST — parsing is
+  pure, so re-executing the same SQL (the execution-accuracy loop does this
+  constantly) skips the lexer/parser entirely.  Cached ASTs also keep stable
+  object identities, which lets the executor reuse compiled plans and
+  uncorrelated-subquery results across ``execute`` calls;
+* a **catalog version** (bumped by CREATE/DROP) that invalidates compiled
+  plans whose column indices may have moved, and a **data version** (bumped
+  by every row mutation, including direct ``StoredTable`` inserts) that
+  invalidates cached subquery results — so DML never requires a full cache
+  clear and read-only workloads never re-execute a cached subquery.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.errors import CatalogError, ExecutionError
-from repro.engine.executor import Executor, QueryResult
+from repro.engine.executor import EXECUTOR_MODES, Executor, QueryResult
 from repro.engine.storage import StoredColumn, StoredTable
 from repro.engine.types import DataType, SQLValue
 from repro.sql.ast_nodes import CreateTable, Insert, Literal, Select, Statement, UnaryOp, UnaryOperator
 from repro.sql.parser import parse, parse_many
+
+#: Default capacity of the SQL-text -> AST statement cache.
+DEFAULT_STATEMENT_CACHE_SIZE = 256
 
 
 class Database:
@@ -27,10 +45,38 @@ class Database:
         [(2,)]
     """
 
-    def __init__(self, name: str = "main") -> None:
+    def __init__(
+        self,
+        name: str = "main",
+        executor_mode: str = "compiled",
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+    ) -> None:
         self.name = name
         self._tables: dict[str, StoredTable] = {}
-        self._executor = Executor(self)
+        #: Bumped by CREATE/DROP: compiled plans must re-resolve column indices.
+        self.catalog_version = 0
+        #: Bumped by any row mutation: cached subquery/gold results are stale.
+        self.data_version = 0
+        self._statement_cache: OrderedDict[str, Statement] = OrderedDict()
+        self._statement_cache_size = statement_cache_size
+        self.statement_cache_hits = 0
+        self.statement_cache_misses = 0
+        self._executor = Executor(self, mode=executor_mode)
+
+    # ------------------------------------------------------------------
+    # execution mode
+    # ------------------------------------------------------------------
+
+    @property
+    def executor_mode(self) -> str:
+        """Expression-evaluation mode: ``"compiled"`` or ``"interpreted"``."""
+        return self._executor.mode
+
+    @executor_mode.setter
+    def executor_mode(self, mode: str) -> None:
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}")
+        self._executor.mode = mode
 
     # ------------------------------------------------------------------
     # catalog
@@ -89,7 +135,7 @@ class Database:
                     column.primary_key = True
                     column.not_null = True
         table = StoredTable(name=name, columns=stored_columns)
-        self._tables[name.lower()] = table
+        self._register_table(table)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -97,22 +143,41 @@ class Database:
         if not self.has_table(name):
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name.lower()]
-        self._executor.clear_cache()
+        self._mark_catalog_change()
 
     def insert(self, table_name: str, rows: list[dict[str, SQLValue]] | list[tuple]) -> int:
         """Insert rows programmatically; returns the number of rows inserted."""
         table = self.table(table_name)
         table.insert_rows(rows)
-        self._executor.clear_cache()
         return len(rows)
 
     # ------------------------------------------------------------------
     # SQL interface
     # ------------------------------------------------------------------
 
+    def parse_cached(self, sql: str) -> Statement:
+        """Parse a statement through the LRU statement cache.
+
+        Parsing is pure, so the same SQL text always maps to the same AST —
+        callers must treat the returned tree as immutable.  Parse failures are
+        not cached.
+        """
+        cache = self._statement_cache
+        statement = cache.get(sql)
+        if statement is not None:
+            cache.move_to_end(sql)
+            self.statement_cache_hits += 1
+            return statement
+        statement = parse(sql)
+        self.statement_cache_misses += 1
+        cache[sql] = statement
+        if len(cache) > self._statement_cache_size:
+            cache.popitem(last=False)
+        return statement
+
     def execute(self, sql: str) -> QueryResult:
-        """Parse and execute a single SQL statement."""
-        return self.execute_statement(parse(sql))
+        """Parse (through the statement cache) and execute one statement."""
+        return self.execute_statement(self.parse_cached(sql))
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a ``;``-separated script, returning one result per statement."""
@@ -131,6 +196,22 @@ class Database:
     def query(self, sql: str) -> list[tuple[SQLValue, ...]]:
         """Execute a SELECT and return just the rows."""
         return self.execute(sql).rows
+
+    # ------------------------------------------------------------------
+    # cache invalidation
+    # ------------------------------------------------------------------
+
+    def _register_table(self, table: StoredTable) -> None:
+        table.on_mutation = self._mark_data_change
+        self._tables[table.name.lower()] = table
+        self._mark_catalog_change()
+
+    def _mark_data_change(self) -> None:
+        self.data_version += 1
+
+    def _mark_catalog_change(self) -> None:
+        self.catalog_version += 1
+        self.data_version += 1
 
     # ------------------------------------------------------------------
     # DDL / DML execution
@@ -155,12 +236,11 @@ class Database:
                 column.not_null = True
             columns.append(column)
         table = StoredTable(name=statement.name, columns=columns)
-        self._tables[statement.name.lower()] = table
+        self._register_table(table)
         return QueryResult(columns=[], rows=[])
 
     def _execute_insert(self, statement: Insert) -> QueryResult:
         table = self.table(statement.table)
-        self._executor.clear_cache()
         inserted = 0
         for row in statement.rows:
             values = [self._literal_value(expression) for expression in row]

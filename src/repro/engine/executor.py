@@ -11,17 +11,50 @@ by the workload generators and needed by the evaluation harnesses:
   (``SELECT COUNT(*) FROM t``),
 * correlated and uncorrelated subqueries (scalar, IN, EXISTS),
 * common table expressions, set operations, DISTINCT, ORDER BY, LIMIT/OFFSET.
+
+The executor has two expression-evaluation paths, selected by ``mode``:
+
+* ``"compiled"`` (default): each WHERE predicate, join condition, projection
+  item, grouping key, ORDER BY key and HAVING clause is compiled once into a
+  Python closure with column indices pre-resolved
+  (:mod:`repro.engine.compiler`); AND-of-equality join conditions run as
+  multi-key hash joins; compiled plans are cached per AST node and relation
+  shape, invalidated by the database's catalog version.
+* ``"interpreted"``: the original per-row tree-walking evaluator, kept
+  verbatim as the semantic reference.  The parity suite runs every query
+  through both modes and asserts bit-identical results.
+
+Expressions the compiler cannot handle (correlated subqueries, outer column
+references, unknown functions) transparently fall back to the interpreter
+for that expression only, so compiled mode never changes semantics.
 """
 
 from __future__ import annotations
 
-import re
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
+from repro.engine.compiler import (
+    AGGREGATE_NAMES as _AGGREGATE_NAMES,
+    compile_group_expression,
+    compile_row_expression,
+    contains_aggregate as _contains_aggregate,
+)
 from repro.engine.functions import call_aggregate, call_scalar, is_scalar_function
+from repro.engine.runtime import (
+    apply_binary as _apply_binary,
+    apply_cast as _apply_cast,
+    apply_unary as _apply_unary,
+    distinct_rows as _distinct_rows,
+    hashable_key as _hashable,
+    is_true as _is_true,
+    like_match as _like_match,
+    null_aware_compare as _null_aware_compare,
+    row_key as _row_key,
+)
 from repro.engine.storage import ColumnLabel, Relation
-from repro.engine.types import SQLValue, compare_values, is_numeric
+from repro.engine.types import SQLValue, compare_values
 from repro.sql.ast_nodes import (
     Between,
     BinaryOp,
@@ -50,14 +83,19 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
     UnaryOp,
-    UnaryOperator,
 )
 
 #: Sentinel returned by _order_key in non-strict mode when no key was found.
 _ORDER_KEY_MISS = object()
 
-#: Aggregate function names the executor recognises.
-_AGGREGATE_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP_CONCAT", "STDDEV", "VARIANCE", "MEDIAN"}
+#: Executor modes understood by :class:`Executor` and :class:`Database`.
+EXECUTOR_MODES = ("compiled", "interpreted")
+
+#: Compiled-plan cache bound; the cache is cleared wholesale beyond this.
+_PLAN_CACHE_LIMIT = 4096
+
+#: Cached-subquery-result bound.
+_SUBQUERY_CACHE_LIMIT = 1024
 
 
 @dataclass
@@ -109,35 +147,116 @@ class QueryResult:
 class Executor:
     """Executes SELECT statements against a database's table catalog."""
 
-    def __init__(self, database: "Database") -> None:  # noqa: F821 - forward ref
+    def __init__(self, database: "Database", mode: str = "compiled") -> None:  # noqa: F821
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}")
         self._database = database
+        self.mode = mode
         # Cache of uncorrelated subquery results, keyed by AST node id.  The
         # node itself is kept in the value so its id cannot be reused while the
-        # cache entry is alive.  The database clears this cache on any DDL/DML.
-        self._subquery_cache: dict[int, tuple[Select, QueryResult]] = {}
+        # cache entry is alive; each entry is tagged with the database's data
+        # version so DML invalidates it lazily without a full clear.
+        self._subquery_cache: dict[int, tuple[Select, int, QueryResult]] = {}
+        # Compiled-plan cache: (node id, kind, relation signature) -> closure
+        # (or None for known-uncompilable expressions).  Tagged with the
+        # catalog version: schema changes can move column indices.
+        self._plan_cache: dict[tuple, tuple[object, object]] = {}
+        self._plan_version: int = -1
 
     def clear_cache(self) -> None:
-        """Drop cached subquery results (called after data modifications)."""
+        """Drop cached subquery results and compiled plans."""
         self._subquery_cache.clear()
+        self._plan_cache.clear()
 
     def _execute_subquery_cached(self, subquery: Select, context: RowContext) -> QueryResult:
         """Execute a subquery, caching the result when it is uncorrelated.
 
         The first execution is attempted without the outer row context; if that
         succeeds the subquery cannot reference outer columns and its result is
-        reused for every outer row.  Correlated subqueries fall back to per-row
-        execution.
+        reused for every outer row — and, because entries are tagged with the
+        database's data version, across repeated executions of the same cached
+        statement until the next DML.  Correlated subqueries fall back to
+        per-row execution.
         """
+        version = self._database.data_version
         key = id(subquery)
         cached = self._subquery_cache.get(key)
-        if cached is not None and cached[0] is subquery:
-            return cached[1]
+        if cached is not None and cached[0] is subquery and cached[1] == version:
+            return cached[2]
         try:
             result = self.execute_select(subquery, None)
         except ExecutionError:
             return self.execute_select(subquery, context)
-        self._subquery_cache[key] = (subquery, result)
+        if len(self._subquery_cache) >= _SUBQUERY_CACHE_LIMIT:
+            self._subquery_cache.clear()
+        self._subquery_cache[key] = (subquery, version, result)
         return result
+
+    # ------------------------------------------------------------------
+    # compiled-plan helpers
+    # ------------------------------------------------------------------
+
+    def _cached_plan(self, anchor: object, kind: str, signature: tuple, build):
+        """Memoise a compiled artifact for an AST node under a relation shape.
+
+        ``anchor`` is the AST node the artifact was derived from; it is stored
+        in the entry so its id cannot be recycled while the entry lives.  The
+        ``signature`` (typically the relation's label tuple) guards against
+        the same node being compiled against differently-shaped inputs.
+        """
+        if self._plan_version != self._database.catalog_version:
+            self._plan_cache.clear()
+            self._plan_version = self._database.catalog_version
+        key = (id(anchor), kind, signature)
+        entry = self._plan_cache.get(key)
+        if entry is not None and entry[0] is anchor:
+            return entry[1]
+        value = build()
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (anchor, value)
+        return value
+
+    def _row_evaluator(self, expression: Expression, relation: Relation, outer: RowContext | None):
+        """Best closure for evaluating ``expression`` once per row.
+
+        Compiled when possible (and cached per relation shape); otherwise an
+        interpreter fallback that builds a :class:`RowContext` per row.
+        """
+        if self.mode == "compiled":
+            compiled = self._cached_plan(
+                expression,
+                "row",
+                tuple(relation.labels),
+                lambda: compile_row_expression(expression, relation),
+            )
+            if compiled is not None:
+                return compiled
+
+        def fallback(row: tuple) -> SQLValue:
+            return self._evaluate(expression, RowContext(relation=relation, row=row, parent=outer))
+
+        return fallback
+
+    def _group_evaluator(self, expression: Expression, source: Relation, outer: RowContext | None):
+        """Best closure for evaluating an aggregation-mode expression per group."""
+        if self.mode == "compiled":
+            compiled = self._cached_plan(
+                expression,
+                "group",
+                tuple(source.labels),
+                lambda: compile_group_expression(expression, source),
+            )
+            if compiled is not None:
+                return compiled
+
+        def fallback(group_rows: list, representative: tuple) -> SQLValue:
+            context = RowContext(
+                relation=source, row=representative, parent=outer, group_rows=group_rows
+            )
+            return self._evaluate_aggregate_aware(expression, context, source, outer)
+
+        return fallback
 
     # ------------------------------------------------------------------
     # public entry point
@@ -178,10 +297,14 @@ class Executor:
         # WHERE
         filtered_rows: list[tuple[SQLValue, ...]] = []
         if select.where is not None:
-            for row in source.rows:
-                context = RowContext(relation=source, row=row, parent=outer)
-                if _is_true(self._evaluate(select.where, context)):
-                    filtered_rows.append(row)
+            if self.mode == "compiled":
+                predicate = self._row_evaluator(select.where, source, outer)
+                filtered_rows = [row for row in source.rows if _is_true(predicate(row))]
+            else:
+                for row in source.rows:
+                    context = RowContext(relation=source, row=row, parent=outer)
+                    if _is_true(self._evaluate(select.where, context)):
+                        filtered_rows.append(row)
         else:
             filtered_rows = list(source.rows)
 
@@ -288,8 +411,210 @@ class Executor:
 
         condition = join.condition
         if join.using_columns and condition is None:
-            condition = self._build_using_condition(join.using_columns, left, right)
+            if self.mode == "compiled":
+                condition = self._cached_plan(
+                    join,
+                    "using",
+                    (tuple(left.labels), tuple(right.labels)),
+                    lambda: self._build_using_condition(join.using_columns, left, right),
+                )
+            else:
+                condition = self._build_using_condition(join.using_columns, left, right)
 
+        if self.mode == "compiled":
+            rows, matched_right = self._join_rows_compiled(
+                join, left, right, combined, condition, outer
+            )
+        else:
+            rows, matched_right = self._join_rows_interpreted(
+                join, left, right, combined, condition, outer
+            )
+
+        if join.join_type in (JoinType.RIGHT, JoinType.FULL):
+            left_pad = tuple([None] * len(left.labels))
+            for right_position, right_row in enumerate(right.rows):
+                if right_position not in matched_right:
+                    rows.append(left_pad + right_row)
+
+        combined.rows = rows
+        return combined
+
+    # -- compiled join path --------------------------------------------
+
+    def _join_rows_compiled(
+        self,
+        join: Join,
+        left: Relation,
+        right: Relation,
+        combined: Relation,
+        condition: Expression | None,
+        outer: RowContext | None,
+    ) -> tuple[list[tuple[SQLValue, ...]], set[int]]:
+        rows: list[tuple[SQLValue, ...]] = []
+        matched_right: set[int] = set()
+        pad_left = join.join_type in (JoinType.LEFT, JoinType.FULL)
+        right_pad = tuple([None] * len(right.labels))
+
+        key_pairs: list[tuple[int, int]] = []
+        residual: Expression | None = None
+        if condition is not None:
+            key_pairs, residual, validate_key_types = self._cached_plan(
+                condition,
+                "join",
+                tuple(combined.labels),
+                lambda: self._hash_join_plan(condition, left, combined),
+            )
+            # Multi-key plans bucket by Python equality while the interpreter's
+            # nested loop compares via compare_values, whose string fallback can
+            # equate cross-type keys (1 = '1') that hash apart.  When the key
+            # columns are not type-homogeneous, give up the hash keys and run
+            # the bit-identical nested loop instead.  (Single-equality plans
+            # reuse the interpreter's own hash path, types and all.)
+            if key_pairs and validate_key_types and not _hash_keys_safe(
+                key_pairs, left.rows, right.rows
+            ):
+                key_pairs, residual = [], condition
+
+        if key_pairs:
+            residual_fn = (
+                self._row_evaluator(residual, combined, outer) if residual is not None else None
+            )
+            left_indices = [pair[0] for pair in key_pairs]
+            right_indices = [pair[1] for pair in key_pairs]
+            buckets: dict[object, list[int]] = {}
+            if len(key_pairs) == 1:
+                left_index = left_indices[0]
+                right_index = right_indices[0]
+                for position, right_row in enumerate(right.rows):
+                    key = _hashable(right_row[right_index])
+                    if key is None:
+                        continue
+                    buckets.setdefault(key, []).append(position)
+                empty: list[int] = []
+                for left_row in left.rows:
+                    key = _hashable(left_row[left_index])
+                    positions = buckets.get(key, empty) if key is not None else empty
+                    matched = False
+                    for position in positions:
+                        combined_row = left_row + right.rows[position]
+                        if residual_fn is not None and not _is_true(residual_fn(combined_row)):
+                            continue
+                        rows.append(combined_row)
+                        matched = True
+                        matched_right.add(position)
+                    if not matched and pad_left:
+                        rows.append(left_row + right_pad)
+            else:
+                for position, right_row in enumerate(right.rows):
+                    key_values = tuple(_hashable(right_row[index]) for index in right_indices)
+                    if any(value is None for value in key_values):
+                        continue
+                    buckets.setdefault(key_values, []).append(position)
+                empty = []
+                for left_row in left.rows:
+                    key_values = tuple(_hashable(left_row[index]) for index in left_indices)
+                    if any(value is None for value in key_values):
+                        positions = empty
+                    else:
+                        positions = buckets.get(key_values, empty)
+                    matched = False
+                    for position in positions:
+                        combined_row = left_row + right.rows[position]
+                        if residual_fn is not None and not _is_true(residual_fn(combined_row)):
+                            continue
+                        rows.append(combined_row)
+                        matched = True
+                        matched_right.add(position)
+                    if not matched and pad_left:
+                        rows.append(left_row + right_pad)
+            return rows, matched_right
+
+        # No usable equality keys: nested loop with a compiled condition.
+        if condition is None:
+            for left_row in left.rows:
+                for right_position, right_row in enumerate(right.rows):
+                    rows.append(left_row + right_row)
+                    matched_right.add(right_position)
+                if not right.rows and pad_left:
+                    rows.append(left_row + right_pad)
+            return rows, matched_right
+
+        condition_fn = self._row_evaluator(condition, combined, outer)
+        for left_row in left.rows:
+            matched = False
+            for right_position, right_row in enumerate(right.rows):
+                combined_row = left_row + right_row
+                if _is_true(condition_fn(combined_row)):
+                    rows.append(combined_row)
+                    matched = True
+                    matched_right.add(right_position)
+            if not matched and pad_left:
+                rows.append(left_row + right_pad)
+        return rows, matched_right
+
+    def _hash_join_plan(
+        self, condition: Expression, left: Relation, combined: Relation
+    ) -> tuple[list[tuple[int, int]], Expression | None, bool]:
+        """Split an AND-tree join condition into hash keys plus a residual.
+
+        Each conjunct that is a plain column equality spanning the two join
+        inputs becomes a (left index, right index) hash-key pair; columns are
+        resolved against the *combined* relation — exactly as the nested-loop
+        evaluator would resolve them — so the hash join is equivalent to the
+        nested loop by construction.  Conjuncts that do not qualify are folded
+        back into a residual expression evaluated on each key-matched row.
+
+        The third element says whether the key columns must be checked for
+        type homogeneity at execution time (True for multi-key plans, whose
+        interpreted reference is the compare_values-based nested loop).
+        """
+        conjuncts = _split_conjuncts(condition)
+        left_width = len(left.labels)
+        if len(conjuncts) == 1:
+            # A single plain equality is what the interpreter's hash path
+            # handles; reuse its left/right-preferring resolution so an
+            # ambiguous unqualified column (present on both sides) binds the
+            # same way in both modes.
+            right = Relation(labels=combined.labels[left_width:])
+            single = self._equi_join_columns(condition, left, right)
+            if single is not None:
+                return [single], None, False
+            return [], condition, False
+        pairs: list[tuple[int, int]] = []
+        residual: list[Expression] = []
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op is BinaryOperator.EQ
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                try:
+                    first = combined.column_index(conjunct.left.name, conjunct.left.table)
+                    second = combined.column_index(conjunct.right.name, conjunct.right.table)
+                except ExecutionError:
+                    residual.append(conjunct)
+                    continue
+                if first < left_width <= second:
+                    pairs.append((first, second - left_width))
+                    continue
+                if second < left_width <= first:
+                    pairs.append((second, first - left_width))
+                    continue
+            residual.append(conjunct)
+        return pairs, _conjoin(residual), True
+
+    # -- interpreted join path (the original engine, kept verbatim) ----
+
+    def _join_rows_interpreted(
+        self,
+        join: Join,
+        left: Relation,
+        right: Relation,
+        combined: Relation,
+        condition: Expression | None,
+        outer: RowContext | None,
+    ) -> tuple[list[tuple[SQLValue, ...]], set[int]]:
         rows: list[tuple[SQLValue, ...]] = []
         matched_right: set[int] = set()
 
@@ -327,14 +652,7 @@ class Executor:
                         matched_right.add(right_position)
                 if not matched and join.join_type in (JoinType.LEFT, JoinType.FULL):
                     rows.append(left_row + tuple([None] * len(right.labels)))
-
-        if join.join_type in (JoinType.RIGHT, JoinType.FULL):
-            for right_position, right_row in enumerate(right.rows):
-                if right_position not in matched_right:
-                    rows.append(tuple([None] * len(left.labels)) + right_row)
-
-        combined.rows = rows
-        return combined
+        return rows, matched_right
 
     def _equi_join_columns(
         self, condition: Expression | None, left: Relation, right: Relation
@@ -361,8 +679,13 @@ class Executor:
     def _build_using_condition(columns: list[str], left: Relation, right: Relation) -> Expression:
         condition: Expression | None = None
         for name in columns:
-            left_label = next(label for label in left.labels if label.matches(name))
-            right_label = next(label for label in right.labels if label.matches(name))
+            left_label = next((label for label in left.labels if label.matches(name)), None)
+            right_label = next((label for label in right.labels if label.matches(name)), None)
+            if left_label is None or right_label is None:
+                side = "left" if left_label is None else "right"
+                raise ExecutionError(
+                    f"USING column {name!r} is missing from the {side} side of the join"
+                )
             comparison = BinaryOp(
                 op=BinaryOperator.EQ,
                 left=ColumnRef(name=left_label.name, table=left_label.relation or None),
@@ -405,7 +728,11 @@ class Executor:
     ) -> QueryResult:
         items = self._expand_select_items(select, source)
         columns = [_output_name(item, index) for index, item in enumerate(items)]
-        output_rows: list[tuple[SQLValue, ...]] = []
+        if self.mode == "compiled":
+            evaluators = [self._row_evaluator(item.expression, source, outer) for item in items]
+            output_rows = [tuple(evaluator(row) for evaluator in evaluators) for row in rows]
+            return QueryResult(columns=columns, rows=output_rows)
+        output_rows = []
         for row in rows:
             context = RowContext(relation=source, row=row, parent=outer)
             output_rows.append(tuple(self._evaluate(item.expression, context) for item in items))
@@ -431,16 +758,47 @@ class Executor:
 
         groups: dict[tuple, list[tuple[SQLValue, ...]]] = {}
         if select.group_by:
-            for row in rows:
-                context = RowContext(relation=source, row=row, parent=outer)
-                key = tuple(
-                    _hashable(self._evaluate(expression, context)) for expression in select.group_by
-                )
-                groups.setdefault(key, []).append(row)
+            if self.mode == "compiled":
+                key_evaluators = [
+                    self._row_evaluator(expression, source, outer)
+                    for expression in select.group_by
+                ]
+                for row in rows:
+                    key = tuple(_hashable(evaluator(row)) for evaluator in key_evaluators)
+                    groups.setdefault(key, []).append(row)
+            else:
+                for row in rows:
+                    context = RowContext(relation=source, row=row, parent=outer)
+                    key = tuple(
+                        _hashable(self._evaluate(expression, context))
+                        for expression in select.group_by
+                    )
+                    groups.setdefault(key, []).append(row)
         else:
             groups[()] = rows
 
         output_rows: list[tuple[SQLValue, ...]] = []
+        if self.mode == "compiled":
+            having_evaluator = (
+                self._group_evaluator(select.having, source, outer)
+                if select.having is not None
+                else None
+            )
+            item_evaluators = [
+                self._group_evaluator(item.expression, source, outer) for item in items
+            ]
+            for _, group_rows in groups.items():
+                representative = (
+                    group_rows[0] if group_rows else tuple([None] * len(source.labels))
+                )
+                if having_evaluator is not None:
+                    if not _is_true(having_evaluator(group_rows, representative)):
+                        continue
+                output_rows.append(
+                    tuple(evaluator(group_rows, representative) for evaluator in item_evaluators)
+                )
+            return QueryResult(columns=columns, rows=output_rows)
+
         for _, group_rows in groups.items():
             representative = group_rows[0] if group_rows else tuple([None] * len(source.labels))
             context = RowContext(
@@ -505,6 +863,89 @@ class Executor:
                 continue
         return positions
 
+    def _order_key_plan(
+        self,
+        item: OrderItem,
+        output_relation: Relation,
+        expression_positions: dict[str, int],
+    ) -> int | None:
+        """Resolve an ORDER BY key to an output-column index when possible.
+
+        Mirrors the first three resolution steps of ``_order_key``; returns
+        ``None`` when the key needs expression evaluation instead.
+        """
+        expression = item.expression
+        if isinstance(expression, Literal) and isinstance(expression.value, int):
+            index = expression.value - 1
+            if 0 <= index < len(output_relation.labels):
+                return index
+            raise ExecutionError(f"ORDER BY position {expression.value} is out of range")
+        if isinstance(expression, ColumnRef):
+            try:
+                return output_relation.column_index(expression.name, expression.table)
+            except ExecutionError:
+                pass
+        if expression_positions:
+            from repro.sql.printer import print_expression
+
+            try:
+                printed = print_expression(expression)
+            except Exception:
+                printed = None
+            if printed is not None and printed in expression_positions:
+                return expression_positions[printed]
+        return None
+
+    def _sorted_positions(
+        self, order_by: list[OrderItem], key_columns: list[list[SQLValue]], count: int
+    ) -> list[int]:
+        """Stable-sort row positions over precomputed per-item key columns."""
+
+        def compare(position_a: int, position_b: int) -> int:
+            for item, column in zip(order_by, key_columns):
+                comparison = _null_aware_compare(column[position_a], column[position_b], item)
+                if comparison != 0:
+                    return comparison if item.ascending else -comparison
+            return 0
+
+        return sorted(range(count), key=functools.cmp_to_key(compare))
+
+    def _compiled_sort(
+        self,
+        order_by: list[OrderItem],
+        output_relation: Relation,
+        expression_positions: dict[str, int],
+        rows: list[tuple[SQLValue, ...]],
+        eval_relation: Relation,
+        eval_rows: list[tuple[SQLValue, ...]],
+        outer: RowContext | None,
+    ) -> list[tuple[SQLValue, ...]]:
+        """Compiled ORDER BY: precompute one key column per item, then sort.
+
+        Keys resolving to an output column read it directly; every other key
+        is evaluated once per row against ``(eval_relation, eval_rows)`` —
+        the source rows when they stay aligned with the output, the output
+        rows otherwise — with the interpreter's ExecutionError->NULL fallback.
+        """
+        if len(rows) < 2:
+            return list(rows)
+        key_columns: list[list[SQLValue]] = []
+        for item in order_by:
+            output_index = self._order_key_plan(item, output_relation, expression_positions)
+            if output_index is not None:
+                key_columns.append([row[output_index] for row in rows])
+                continue
+            evaluator = self._row_evaluator(item.expression, eval_relation, outer)
+            values: list[SQLValue] = []
+            for eval_row in eval_rows:
+                try:
+                    values.append(evaluator(eval_row))
+                except ExecutionError:
+                    values.append(None)
+            key_columns.append(values)
+        order = self._sorted_positions(order_by, key_columns, len(rows))
+        return [rows[position] for position in order]
+
     def _sort_with_source(
         self,
         order_by: list[OrderItem],
@@ -515,7 +956,10 @@ class Executor:
         outer: RowContext | None,
         expression_positions: dict[str, int],
     ) -> list[tuple[SQLValue, ...]]:
-        import functools
+        if self.mode == "compiled":
+            return self._compiled_sort(
+                order_by, output_relation, expression_positions, rows, source, source_rows, outer
+            )
 
         paired = list(zip(rows, source_rows))
 
@@ -550,9 +994,12 @@ class Executor:
         outer: RowContext | None,
         expression_positions: dict[str, int] | None = None,
     ) -> list[tuple[SQLValue, ...]]:
-        import functools
-
         positions = expression_positions or {}
+
+        if self.mode == "compiled":
+            return self._compiled_sort(
+                order_by, output_relation, positions, rows, output_relation, rows, outer
+            )
 
         def compare(row_a: tuple, row_b: tuple) -> int:
             for item in order_by:
@@ -607,7 +1054,7 @@ class Executor:
             return None
 
     # ------------------------------------------------------------------
-    # expression evaluation
+    # expression evaluation (the interpreter)
     # ------------------------------------------------------------------
 
     def _evaluate_aggregate_aware(
@@ -790,149 +1237,51 @@ def _output_name(item: SelectItem, index: int) -> str:
     return f"col_{index}"
 
 
-def _is_true(value: SQLValue) -> bool:
-    if value is None:
-        return False
-    if isinstance(value, bool):
-        return value
-    if is_numeric(value):
-        return value != 0
-    return bool(value)
+def _hash_keys_safe(
+    pairs: list[tuple[int, int]],
+    left_rows: list[tuple[SQLValue, ...]],
+    right_rows: list[tuple[SQLValue, ...]],
+) -> bool:
+    """Whether hash-bucket equality agrees with compare_values for these keys.
+
+    compare_values falls back to string comparison across heterogeneous types
+    (``1 = '1'`` is true, ``TRUE = 1`` is false), which Python dict equality
+    cannot reproduce.  Bucketing is only sound when each key column pair holds
+    a single value class — all numbers, all strings, or all booleans — where
+    the two equalities coincide.  NULLs are ignored (they never join).
+    """
+    for left_index, right_index in pairs:
+        classes: set[str] = set()
+        for rows, index in ((left_rows, left_index), (right_rows, right_index)):
+            for row in rows:
+                value = row[index]
+                if value is None:
+                    continue
+                if isinstance(value, bool):
+                    classes.add("bool")
+                elif isinstance(value, (int, float)):
+                    classes.add("number")
+                elif isinstance(value, str):
+                    classes.add("string")
+                else:
+                    return False
+                if len(classes) > 1:
+                    return False
+    return True
 
 
-def _contains_aggregate(expression: Expression) -> bool:
-    from repro.sql.analyzer import iter_expressions
-
-    for node in iter_expressions(expression):
-        if isinstance(node, FunctionCall) and node.upper_name in _AGGREGATE_NAMES:
-            return True
-    return False
+def _split_conjuncts(expression: Expression) -> list[Expression]:
+    """Flatten an AND tree into its conjuncts (left-to-right order)."""
+    if isinstance(expression, BinaryOp) and expression.op is BinaryOperator.AND:
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
 
 
-def _apply_binary(op: BinaryOperator, left: SQLValue, right: SQLValue) -> SQLValue:
-    if op in (BinaryOperator.AND, BinaryOperator.OR):
-        if left is None or right is None:
-            return None
-        return _is_true(left) and _is_true(right) if op is BinaryOperator.AND else (
-            _is_true(left) or _is_true(right)
+def _conjoin(conjuncts: list[Expression]) -> Expression | None:
+    """Left-fold conjuncts back into an AND tree (None for an empty list)."""
+    condition: Expression | None = None
+    for conjunct in conjuncts:
+        condition = conjunct if condition is None else BinaryOp(
+            op=BinaryOperator.AND, left=condition, right=conjunct
         )
-    if left is None or right is None:
-        return None
-    if op is BinaryOperator.ADD:
-        return _numeric_binary(left, right, lambda a, b: a + b)
-    if op is BinaryOperator.SUB:
-        return _numeric_binary(left, right, lambda a, b: a - b)
-    if op is BinaryOperator.MUL:
-        return _numeric_binary(left, right, lambda a, b: a * b)
-    if op is BinaryOperator.DIV:
-        if float(right) == 0.0:
-            return None
-        return _numeric_binary(left, right, lambda a, b: a / b)
-    if op is BinaryOperator.MOD:
-        if float(right) == 0.0:
-            return None
-        return _numeric_binary(left, right, lambda a, b: a % b)
-    if op is BinaryOperator.CONCAT:
-        return f"{left}{right}"
-    comparison = compare_values(left, right)
-    if op is BinaryOperator.EQ:
-        return comparison == 0
-    if op is BinaryOperator.NEQ:
-        return comparison != 0
-    if op is BinaryOperator.LT:
-        return comparison < 0
-    if op is BinaryOperator.LTE:
-        return comparison <= 0
-    if op is BinaryOperator.GT:
-        return comparison > 0
-    if op is BinaryOperator.GTE:
-        return comparison >= 0
-    raise ExecutionError(f"unsupported binary operator {op}")
-
-
-def _numeric_binary(left: SQLValue, right: SQLValue, operation) -> SQLValue:
-    try:
-        left_number = float(left) if not is_numeric(left) else left
-        right_number = float(right) if not is_numeric(right) else right
-    except (TypeError, ValueError) as exc:
-        raise ExecutionError(f"arithmetic on non-numeric values {left!r}, {right!r}") from exc
-    result = operation(left_number, right_number)
-    if isinstance(left_number, int) and isinstance(right_number, int) and isinstance(result, int):
-        return result
-    if isinstance(result, float) and result.is_integer() and isinstance(left_number, int) and isinstance(right_number, int):
-        return int(result)
-    return result
-
-
-def _apply_unary(op: UnaryOperator, operand: SQLValue) -> SQLValue:
-    if operand is None:
-        return None
-    if op is UnaryOperator.NEG:
-        if not is_numeric(operand):
-            raise ExecutionError(f"cannot negate non-numeric value {operand!r}")
-        return -operand
-    if op is UnaryOperator.POS:
-        return operand
-    if op is UnaryOperator.NOT:
-        return not _is_true(operand)
-    raise ExecutionError(f"unsupported unary operator {op}")
-
-
-def _apply_cast(value: SQLValue, target_type: str) -> SQLValue:
-    from repro.engine.types import DataType, coerce_value
-
-    if value is None:
-        return None
-    return coerce_value(value, DataType.from_sql(target_type))
-
-
-def _like_match(value: str, pattern: str) -> bool:
-    regex_parts: list[str] = []
-    for char in pattern:
-        if char == "%":
-            regex_parts.append(".*")
-        elif char == "_":
-            regex_parts.append(".")
-        else:
-            regex_parts.append(re.escape(char))
-    regex = "^" + "".join(regex_parts) + "$"
-    return re.match(regex, value, flags=re.IGNORECASE) is not None
-
-
-def _hashable(value: SQLValue) -> object:
-    if isinstance(value, float) and value.is_integer():
-        return int(value)
-    return value
-
-
-def _row_key(row: tuple[SQLValue, ...]) -> tuple:
-    return tuple(_hashable(value) for value in row)
-
-
-def _distinct_rows(rows: list[tuple[SQLValue, ...]]) -> list[tuple[SQLValue, ...]]:
-    seen: set[tuple] = set()
-    unique: list[tuple[SQLValue, ...]] = []
-    for row in rows:
-        key = _row_key(row)
-        if key not in seen:
-            seen.add(key)
-            unique.append(row)
-    return unique
-
-
-def _null_aware_compare(left: SQLValue, right: SQLValue, item: OrderItem) -> int:
-    if left is None and right is None:
-        return 0
-    if left is None:
-        if item.nulls_first is True:
-            return -1
-        if item.nulls_first is False:
-            return 1
-        return -1 if item.ascending else 1
-    if right is None:
-        if item.nulls_first is True:
-            return 1
-        if item.nulls_first is False:
-            return -1
-        return 1 if item.ascending else -1
-    return compare_values(left, right)
+    return condition

@@ -1,0 +1,170 @@
+"""Value-level runtime helpers shared by the interpreter and the compiler.
+
+These functions implement the engine's SQL semantics on plain Python values:
+three-valued truthiness, NULL-propagating binary/unary operators, CAST
+coercion, LIKE matching and hash-key normalisation.  Both execution paths —
+the tree-walking interpreter in :mod:`repro.engine.executor` and the
+closure compiler in :mod:`repro.engine.compiler` — call into this module so
+their results stay bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ExecutionError
+from repro.engine.types import SQLValue, compare_values, is_numeric
+from repro.sql.ast_nodes import BinaryOperator, OrderItem, UnaryOperator
+
+
+def is_true(value: SQLValue) -> bool:
+    """SQL three-valued truthiness collapsed to a filter decision."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if is_numeric(value):
+        return value != 0
+    return bool(value)
+
+
+def apply_binary(op: BinaryOperator, left: SQLValue, right: SQLValue) -> SQLValue:
+    """Evaluate a binary operator with SQL NULL propagation."""
+    if op in (BinaryOperator.AND, BinaryOperator.OR):
+        if left is None or right is None:
+            return None
+        return is_true(left) and is_true(right) if op is BinaryOperator.AND else (
+            is_true(left) or is_true(right)
+        )
+    if left is None or right is None:
+        return None
+    if op is BinaryOperator.ADD:
+        return numeric_binary(left, right, lambda a, b: a + b)
+    if op is BinaryOperator.SUB:
+        return numeric_binary(left, right, lambda a, b: a - b)
+    if op is BinaryOperator.MUL:
+        return numeric_binary(left, right, lambda a, b: a * b)
+    if op is BinaryOperator.DIV:
+        if float(right) == 0.0:
+            return None
+        return numeric_binary(left, right, lambda a, b: a / b)
+    if op is BinaryOperator.MOD:
+        if float(right) == 0.0:
+            return None
+        return numeric_binary(left, right, lambda a, b: a % b)
+    if op is BinaryOperator.CONCAT:
+        return f"{left}{right}"
+    comparison = compare_values(left, right)
+    if op is BinaryOperator.EQ:
+        return comparison == 0
+    if op is BinaryOperator.NEQ:
+        return comparison != 0
+    if op is BinaryOperator.LT:
+        return comparison < 0
+    if op is BinaryOperator.LTE:
+        return comparison <= 0
+    if op is BinaryOperator.GT:
+        return comparison > 0
+    if op is BinaryOperator.GTE:
+        return comparison >= 0
+    raise ExecutionError(f"unsupported binary operator {op}")
+
+
+def numeric_binary(left: SQLValue, right: SQLValue, operation) -> SQLValue:
+    """Apply an arithmetic operation, coercing string operands to float."""
+    try:
+        left_number = float(left) if not is_numeric(left) else left
+        right_number = float(right) if not is_numeric(right) else right
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"arithmetic on non-numeric values {left!r}, {right!r}") from exc
+    result = operation(left_number, right_number)
+    if isinstance(left_number, int) and isinstance(right_number, int) and isinstance(result, int):
+        return result
+    if isinstance(result, float) and result.is_integer() and isinstance(left_number, int) and isinstance(right_number, int):
+        return int(result)
+    return result
+
+
+def apply_unary(op: UnaryOperator, operand: SQLValue) -> SQLValue:
+    """Evaluate a unary operator with SQL NULL propagation."""
+    if operand is None:
+        return None
+    if op is UnaryOperator.NEG:
+        if not is_numeric(operand):
+            raise ExecutionError(f"cannot negate non-numeric value {operand!r}")
+        return -operand
+    if op is UnaryOperator.POS:
+        return operand
+    if op is UnaryOperator.NOT:
+        return not is_true(operand)
+    raise ExecutionError(f"unsupported unary operator {op}")
+
+
+def apply_cast(value: SQLValue, target_type: str) -> SQLValue:
+    """Evaluate ``CAST(value AS target_type)``."""
+    from repro.engine.types import DataType, coerce_value
+
+    if value is None:
+        return None
+    return coerce_value(value, DataType.from_sql(target_type))
+
+
+def like_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    regex_parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            regex_parts.append(".*")
+        elif char == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(char))
+    return "^" + "".join(regex_parts) + "$"
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """Case-insensitive SQL LIKE match."""
+    return re.match(like_regex(pattern), value, flags=re.IGNORECASE) is not None
+
+
+def hashable_key(value: SQLValue) -> object:
+    """Normalise a value for use as a hash/group key (integral floats → int)."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def row_key(row: tuple[SQLValue, ...]) -> tuple:
+    """Normalised hash key for a whole row (DISTINCT / set operations)."""
+    return tuple(hashable_key(value) for value in row)
+
+
+def distinct_rows(rows: list[tuple[SQLValue, ...]]) -> list[tuple[SQLValue, ...]]:
+    """First-occurrence deduplication preserving row order."""
+    seen: set[tuple] = set()
+    unique: list[tuple[SQLValue, ...]] = []
+    for row in rows:
+        key = row_key(row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def null_aware_compare(left: SQLValue, right: SQLValue, item: OrderItem) -> int:
+    """Three-way ORDER BY comparison honouring NULLS FIRST/LAST."""
+    if left is None and right is None:
+        return 0
+    if left is None:
+        if item.nulls_first is True:
+            return -1
+        if item.nulls_first is False:
+            return 1
+        return -1 if item.ascending else 1
+    if right is None:
+        if item.nulls_first is True:
+            return 1
+        if item.nulls_first is False:
+            return -1
+        return 1 if item.ascending else -1
+    return compare_values(left, right)

@@ -96,6 +96,10 @@ class StoredTable:
         self.columns = columns
         self.rows: list[tuple[SQLValue, ...]] = []
         self._index_by_name = {column.name.lower(): i for i, column in enumerate(columns)}
+        #: Invoked after every successful row insert; the owning Database sets
+        #: this to its data-version bump so caches invalidate even when rows
+        #: are inserted directly on the table (as the workload generator does).
+        self.on_mutation = None
 
     @property
     def column_names(self) -> list[str]:
@@ -142,6 +146,8 @@ class StoredTable:
                 )
             coerced.append(coerce_value(value, column.data_type))
         self.rows.append(tuple(coerced))
+        if self.on_mutation is not None:
+            self.on_mutation()
 
     def insert_rows(self, rows: list[dict[str, SQLValue]] | list[tuple[SQLValue, ...]]) -> None:
         """Insert many rows."""

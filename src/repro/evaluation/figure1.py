@@ -15,7 +15,7 @@ from repro.evaluation.text2sql_models import (
     SimulatedText2SQLModel,
     best_model_for,
 )
-from repro.metrics.execution import compare_execution
+from repro.metrics.execution import GoldResultCache, compare_execution
 from repro.workloads.base import Workload
 
 
@@ -60,9 +60,16 @@ class Figure1Result:
 
 
 def evaluate_model_on_workload(
-    model: SimulatedText2SQLModel, workload: Workload, max_queries: int | None = None
+    model: SimulatedText2SQLModel,
+    workload: Workload,
+    max_queries: int | None = None,
+    gold_cache: GoldResultCache | None = None,
 ) -> ModelBenchmarkScore:
-    """Run one model over one workload and compute execution accuracy."""
+    """Run one model over one workload and compute execution accuracy.
+
+    Pass a shared :class:`GoldResultCache` when scoring several models on the
+    same workload so each gold query executes once instead of once per model.
+    """
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]
@@ -70,7 +77,9 @@ def evaluate_model_on_workload(
     evaluated = 0
     for query in queries:
         predicted = model.predict(query.gold_nl, query.sql)
-        comparison = compare_execution(workload.database, query.sql, predicted)
+        comparison = compare_execution(
+            workload.database, query.sql, predicted, gold_cache=gold_cache
+        )
         if not comparison.gold_executed:
             continue
         evaluated += 1
@@ -101,9 +110,14 @@ def run_figure1(
             result.best_models[benchmark_name] = best
             if best not in model_names:
                 model_names.append(best)
+        # One gold cache per workload: every model is scored against the same
+        # gold set, so each gold query executes exactly once per benchmark.
+        gold_cache = GoldResultCache(workload.database)
         for model_name in model_names:
             model = SimulatedText2SQLModel.for_workload(model_name, workload)
             result.scores.append(
-                evaluate_model_on_workload(model, workload, max_queries=max_queries)
+                evaluate_model_on_workload(
+                    model, workload, max_queries=max_queries, gold_cache=gold_cache
+                )
             )
     return result

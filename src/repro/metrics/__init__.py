@@ -20,7 +20,10 @@ from repro.metrics.complexity import (
 )
 from repro.metrics.execution import (
     ExecutionComparison,
+    GoldExecution,
+    GoldResultCache,
     compare_execution,
+    compare_execution_many,
     execute_safely,
     execution_accuracy,
     results_match,
@@ -44,6 +47,8 @@ __all__ = [
     "ACCURACY_THRESHOLD",
     "AnnotationJudgement",
     "ExecutionComparison",
+    "GoldExecution",
+    "GoldResultCache",
     "QuerySetProfile",
     "RelativeRow",
     "RougeScore",
@@ -55,6 +60,7 @@ __all__ = [
     "build_table1",
     "build_table2",
     "compare_execution",
+    "compare_execution_many",
     "exact_match",
     "execute_safely",
     "execution_accuracy",

@@ -5,6 +5,13 @@ matches that of the gold SQL" — is the headline metric of Figure 1.  The
 comparison is performed on our in-memory engine: both queries run against the
 same populated database and their result multisets are compared (order-
 insensitive unless the gold query specifies ORDER BY).
+
+Hot-path structure: gold SQL is parsed once through the database's statement
+cache and its ORDER BY-ness is read off that same AST (no second parse), and
+:class:`GoldResultCache` memoises gold executions so evaluating N models
+against the same gold set executes each gold query exactly once.  The cache
+is tagged with the database's data version, so any DML between comparisons
+invalidates it automatically.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from repro.engine.database import Database
 from repro.engine.executor import QueryResult
 from repro.engine.types import values_equal
 from repro.errors import ReproError
-from repro.sql.parser import parse_select
+from repro.sql.ast_nodes import Select
 
 
 @dataclass
@@ -30,16 +37,104 @@ class ExecutionComparison:
     error: str = ""
 
 
+@dataclass
+class GoldExecution:
+    """Memoised execution of one gold query."""
+
+    result: QueryResult | None
+    error: str
+    ordered: bool
+
+
+class GoldResultCache:
+    """Memoises gold-query executions against one database.
+
+    Entries are keyed by SQL text and tagged with the database's data version:
+    any DML (or DDL) between lookups drops the whole cache, so memoised gold
+    results can never go stale.  Share one instance across every model being
+    evaluated on the same workload to execute each gold query once.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._version = database.data_version
+        self._entries: dict[str, GoldExecution] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _validate(self) -> None:
+        if self._version != self._database.data_version:
+            self._entries.clear()
+            self._version = self._database.data_version
+
+    def get(self, sql: str) -> GoldExecution | None:
+        """Return the memoised execution for ``sql``, if still valid."""
+        self._validate()
+        entry = self._entries.get(sql)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def put(self, sql: str, execution: GoldExecution) -> None:
+        """Memoise one gold execution."""
+        self._validate()
+        self.misses += 1
+        self._entries[sql] = execution
+
+
 def execute_safely(database: Database, sql: str | None) -> tuple[QueryResult | None, str]:
     """Execute SQL, returning ``(result, error_message)`` instead of raising."""
     if sql is None or not str(sql).strip():
         return None, "empty query"
     try:
-        return database.execute(sql), ""
+        statement = database.parse_cached(sql)
+        return database.execute_statement(statement), ""
     except ReproError as exc:
         return None, str(exc)
     except Exception as exc:  # pragma: no cover - defensive
         return None, f"unexpected error: {exc}"
+
+
+def _execute_gold(
+    database: Database, gold_sql: str, gold_cache: GoldResultCache | None
+) -> GoldExecution:
+    """Execute a gold query, reading its ORDER BY-ness off the parsed AST.
+
+    Parses at most once (through the database's statement cache) and consults
+    the memoisation cache when one is provided.
+    """
+    if gold_cache is not None:
+        cached = gold_cache.get(gold_sql)
+        if cached is not None:
+            return cached
+
+    if gold_sql is None or not str(gold_sql).strip():
+        execution = GoldExecution(result=None, error="empty query", ordered=False)
+    else:
+        try:
+            statement = database.parse_cached(gold_sql)
+        except ReproError as exc:
+            execution = GoldExecution(result=None, error=str(exc), ordered=False)
+        except Exception as exc:  # pragma: no cover - defensive
+            execution = GoldExecution(result=None, error=f"unexpected error: {exc}", ordered=False)
+        else:
+            ordered = isinstance(statement, Select) and bool(statement.order_by)
+            try:
+                result = database.execute_statement(statement)
+                execution = GoldExecution(result=result, error="", ordered=ordered)
+            except ReproError as exc:
+                execution = GoldExecution(result=None, error=str(exc), ordered=ordered)
+            except Exception as exc:  # pragma: no cover - defensive
+                execution = GoldExecution(
+                    result=None, error=f"unexpected error: {exc}", ordered=ordered
+                )
+
+    if gold_cache is not None:
+        gold_cache.put(gold_sql, execution)
+    return execution
 
 
 def _normalise_cell(value: object) -> object:
@@ -81,44 +176,60 @@ def results_match(gold: QueryResult, predicted: QueryResult, ordered: bool = Fal
 
 
 def compare_execution(
-    database: Database, gold_sql: str, predicted_sql: str | None
+    database: Database,
+    gold_sql: str,
+    predicted_sql: str | None,
+    gold_cache: GoldResultCache | None = None,
 ) -> ExecutionComparison:
-    """Execute gold and predicted SQL and compare their results."""
-    gold_result, gold_error = execute_safely(database, gold_sql)
+    """Execute gold and predicted SQL and compare their results.
+
+    Pass a :class:`GoldResultCache` to memoise gold executions across calls
+    (e.g. when scoring several models against the same gold set).
+    """
+    gold = _execute_gold(database, gold_sql, gold_cache)
     predicted_result, predicted_error = execute_safely(database, predicted_sql)
 
-    if gold_result is None:
+    if gold.result is None:
         return ExecutionComparison(
             gold_executed=False,
             predicted_executed=predicted_result is not None,
             match=False,
-            error=f"gold query failed: {gold_error}",
+            error=f"gold query failed: {gold.error}",
         )
     if predicted_result is None:
         return ExecutionComparison(
             gold_executed=True,
             predicted_executed=False,
             match=False,
-            gold_rows=len(gold_result.rows),
+            gold_rows=len(gold.result.rows),
             error=predicted_error,
         )
 
-    ordered = _gold_is_ordered(gold_sql)
-    match = results_match(gold_result, predicted_result, ordered=ordered)
+    match = results_match(gold.result, predicted_result, ordered=gold.ordered)
     return ExecutionComparison(
         gold_executed=True,
         predicted_executed=True,
         match=match,
-        gold_rows=len(gold_result.rows),
+        gold_rows=len(gold.result.rows),
         predicted_rows=len(predicted_result.rows),
     )
 
 
-def _gold_is_ordered(gold_sql: str) -> bool:
-    try:
-        return bool(parse_select(gold_sql).order_by)
-    except Exception:
-        return False
+def compare_execution_many(
+    database: Database,
+    pairs: list[tuple[str, str | None]],
+    gold_cache: GoldResultCache | None = None,
+) -> list[ExecutionComparison]:
+    """Compare many (gold, predicted) pairs, executing each gold query once.
+
+    A fresh :class:`GoldResultCache` is created when none is passed, so
+    repeated gold queries within ``pairs`` are also deduplicated.
+    """
+    cache = gold_cache if gold_cache is not None else GoldResultCache(database)
+    return [
+        compare_execution(database, gold_sql, predicted_sql, gold_cache=cache)
+        for gold_sql, predicted_sql in pairs
+    ]
 
 
 def execution_accuracy(
@@ -127,8 +238,6 @@ def execution_accuracy(
     """Fraction of (gold, predicted) pairs whose execution results match."""
     if not pairs:
         return 0.0
-    matches = sum(
-        1 for gold_sql, predicted_sql in pairs
-        if compare_execution(database, gold_sql, predicted_sql).match
-    )
+    comparisons = compare_execution_many(database, pairs)
+    matches = sum(1 for comparison in comparisons if comparison.match)
     return matches / len(pairs)

@@ -1,0 +1,275 @@
+"""Compiled/interpreted parity suite.
+
+Runs every query the workload generator produces — plus a battery of join
+edge cases — through both executor modes and asserts *bit-identical*
+results: same columns, same rows in the same order, same Python value types
+cell-for-cell.  This is the contract the compiled hot path must uphold: it
+may only be faster, never different.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError, ReproError
+
+
+def run_both_modes(database: Database, sql: str):
+    """Execute ``sql`` in compiled then interpreted mode on one database.
+
+    Returns ``(compiled, interpreted)`` where each element is either a
+    QueryResult or the raised engine error.
+    """
+    outcomes = []
+    original_mode = database.executor_mode
+    try:
+        for mode in ("compiled", "interpreted"):
+            database.executor_mode = mode
+            try:
+                outcomes.append(database.execute(sql))
+            except ReproError as exc:
+                outcomes.append(exc)
+    finally:
+        database.executor_mode = original_mode
+    return outcomes[0], outcomes[1]
+
+
+def assert_parity(database: Database, sql: str) -> None:
+    """Assert both modes produce bit-identical results (or both fail)."""
+    compiled, interpreted = run_both_modes(database, sql)
+    if isinstance(interpreted, Exception):
+        assert isinstance(compiled, Exception), (
+            f"interpreted raised {interpreted!r} but compiled succeeded for: {sql}"
+        )
+        return
+    assert not isinstance(compiled, Exception), (
+        f"compiled raised {compiled!r} but interpreted succeeded for: {sql}"
+    )
+    assert compiled.columns == interpreted.columns, sql
+    assert len(compiled.rows) == len(interpreted.rows), sql
+    for compiled_row, interpreted_row in zip(compiled.rows, interpreted.rows):
+        assert compiled_row == interpreted_row, sql
+        assert [type(value) for value in compiled_row] == [
+            type(value) for value in interpreted_row
+        ], f"value types diverge for: {sql}"
+
+
+# ---------------------------------------------------------------------------
+# generated workloads: every query through both paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload_fixture", ["tiny_spider", "tiny_beaver", "tiny_bird"])
+def test_generated_workload_parity(workload_fixture, request):
+    workload = request.getfixturevalue(workload_fixture)
+    assert workload.queries, "workload generated no queries"
+    for query in workload.queries:
+        assert_parity(workload.database, query.sql)
+
+
+# ---------------------------------------------------------------------------
+# join edge cases
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def join_database() -> Database:
+    """Two small tables with duplicated column names and NULL join keys."""
+    database = Database("joins")
+    database.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT, region_id INT, amount REAL, status TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE customers (id INT PRIMARY KEY, region_id INT, name TEXT, tier TEXT)"
+    )
+    database.execute(
+        "INSERT INTO customers (id, region_id, name, tier) VALUES "
+        "(1, 10, 'Acme', 'gold'), (2, 20, 'Globex', 'silver'), "
+        "(3, NULL, 'Initech', 'gold'), (4, 10, 'Umbrella', 'bronze')"
+    )
+    database.execute(
+        "INSERT INTO orders (id, customer_id, region_id, amount, status) VALUES "
+        "(100, 1, 10, 250.0, 'open'), (101, 1, 20, 80.0, 'closed'), "
+        "(102, 2, 20, 99.5, 'open'), (103, NULL, 10, 10.0, 'open'), "
+        "(104, 3, NULL, 500.0, 'closed'), (105, 9, 99, 1.0, 'open')"
+    )
+    return database
+
+
+JOIN_EDGE_QUERIES = [
+    # single-key equi joins (compiled and interpreted both hash)
+    "SELECT o.id, c.name FROM orders o JOIN customers c ON o.customer_id = c.id",
+    "SELECT o.id, c.name FROM orders o LEFT JOIN customers c ON o.customer_id = c.id",
+    # multi-key AND-of-equalities: compiled hash join vs interpreted nested loop
+    "SELECT o.id, c.name FROM orders o JOIN customers c "
+    "ON o.customer_id = c.id AND o.region_id = c.region_id",
+    "SELECT o.id, c.name FROM orders o LEFT JOIN customers c "
+    "ON o.customer_id = c.id AND o.region_id = c.region_id",
+    "SELECT o.id, c.name FROM orders o RIGHT JOIN customers c "
+    "ON o.customer_id = c.id AND o.region_id = c.region_id",
+    "SELECT o.id, c.name FROM orders o FULL JOIN customers c "
+    "ON o.customer_id = c.id AND o.region_id = c.region_id",
+    # equality keys mixed with a non-equality residual conjunct
+    "SELECT o.id, c.name FROM orders o JOIN customers c "
+    "ON o.customer_id = c.id AND o.amount > 50",
+    "SELECT o.id, c.name FROM orders o LEFT JOIN customers c "
+    "ON o.customer_id = c.id AND c.tier = 'gold' AND o.amount > 50",
+    "SELECT o.id, c.name FROM orders o FULL JOIN customers c "
+    "ON o.customer_id = c.id AND c.tier = 'gold'",
+    # ambiguous unqualified column (id and region_id exist on both sides)
+    "SELECT o.id FROM orders o JOIN customers c ON customer_id = id",
+    # NULL keys on both sides must never match
+    "SELECT o.id, c.id FROM orders o JOIN customers c ON o.region_id = c.region_id",
+    "SELECT o.id, c.id FROM orders o FULL JOIN customers c ON o.region_id = c.region_id",
+    # USING join
+    "SELECT o.id, c.name FROM orders o JOIN customers c USING (region_id)",
+    # cross join via condition-free nested loop
+    "SELECT COUNT(*) FROM orders CROSS JOIN customers",
+    # non-equality-only condition: nested loop in both modes
+    "SELECT o.id, c.id FROM orders o JOIN customers c ON o.amount > c.id * 50",
+    # join feeding aggregation / ordering
+    "SELECT c.tier, COUNT(*), SUM(o.amount) FROM orders o "
+    "JOIN customers c ON o.customer_id = c.id GROUP BY c.tier "
+    "HAVING COUNT(*) >= 1 ORDER BY 3 DESC",
+]
+
+
+@pytest.mark.parametrize("sql", JOIN_EDGE_QUERIES)
+def test_join_edge_case_parity(join_database, sql):
+    assert_parity(join_database, sql)
+
+
+def test_multi_key_join_uses_hash_path(join_database):
+    """The AND-of-equalities condition must produce correct multi-key matches."""
+    join_database.executor_mode = "compiled"
+    result = join_database.execute(
+        "SELECT o.id, c.name FROM orders o JOIN customers c "
+        "ON o.customer_id = c.id AND o.region_id = c.region_id ORDER BY o.id"
+    )
+    # orders 100/102 match their customer on both keys; 101 matches on id but
+    # not region; 104 has a NULL region key and must not match customer 3's NULL.
+    assert result.rows == [(100, "Acme"), (102, "Globex")]
+
+
+def test_cross_type_multi_key_join_parity():
+    """compare_values equates 1 = '1' via its string fallback; a naive hash
+    bucket would not.  Multi-key plans must detect heterogeneous key columns
+    and fall back to the nested loop so both modes agree."""
+    database = Database("cross-type")
+    database.create_table("t1", [("a", "INT"), ("b", "TEXT")])
+    database.create_table("t2", [("c", "TEXT"), ("d", "TEXT")])
+    database.table("t1").insert_rows([(1, "x"), (2, "y")])
+    database.table("t2").insert_rows([("1", "x"), ("2", "z")])
+    sql = "SELECT * FROM t1 JOIN t2 ON t1.a = t2.c AND t1.b = t2.d"
+    assert_parity(database, sql)
+    database.executor_mode = "compiled"
+    assert database.execute(sql).rows == [(1, "x", "1", "x")]
+
+
+def test_homogeneous_multi_key_join_still_hashes(join_database):
+    """Type-safe key columns keep the fast path; results stay identical."""
+    sql = (
+        "SELECT o.id, c.name FROM orders o JOIN customers c "
+        "ON o.customer_id = c.id AND o.region_id = c.region_id"
+    )
+    assert_parity(join_database, sql)
+
+
+def test_right_and_full_unmatched_rows(join_database):
+    join_database.executor_mode = "compiled"
+    full = join_database.execute(
+        "SELECT o.id, c.id FROM orders o FULL JOIN customers c "
+        "ON o.customer_id = c.id AND o.region_id = c.region_id"
+    )
+    left_ids = {row[0] for row in full.rows}
+    right_ids = {row[1] for row in full.rows}
+    # every unmatched order appears null-padded on the right...
+    assert left_ids >= {100, 101, 102, 103, 104, 105}
+    # ...and every unmatched customer appears null-padded on the left.
+    assert right_ids >= {1, 2, 3, 4}
+    assert (100, 1) in full.rows
+    assert (101, None) in full.rows
+    assert (None, 3) in full.rows
+    assert (None, 4) in full.rows
+
+
+# ---------------------------------------------------------------------------
+# expression / clause parity on a hand-built database
+# ---------------------------------------------------------------------------
+
+
+EXPRESSION_QUERIES = [
+    "SELECT name, salary * 1.1 FROM employees WHERE salary > 80000",
+    "SELECT name FROM employees WHERE dept_id IS NULL",
+    "SELECT name FROM employees WHERE dept_id IS NOT NULL AND salary BETWEEN 70000 AND 130000",
+    "SELECT name FROM employees WHERE name LIKE 'A%' OR name LIKE '%k'",
+    "SELECT name FROM employees WHERE dept_id IN (1, 3)",
+    "SELECT name FROM employees WHERE dept_id NOT IN (1, 3)",
+    "SELECT UPPER(name), LENGTH(name) FROM employees ORDER BY 2 DESC, 1 ASC",
+    "SELECT CASE WHEN salary >= 100000 THEN 'high' WHEN salary >= 80000 THEN 'mid' ELSE 'low' END AS band, name FROM employees ORDER BY band, name",
+    "SELECT CAST(salary AS INT) FROM employees ORDER BY 1",
+    "SELECT dept_id, COUNT(*), AVG(salary) FROM employees GROUP BY dept_id HAVING COUNT(*) > 1",
+    "SELECT COUNT(DISTINCT dept_id) FROM employees",
+    "SELECT name FROM employees WHERE salary > (SELECT AVG(salary) FROM employees)",
+    "SELECT name FROM employees e WHERE EXISTS (SELECT 1 FROM departments d WHERE d.dept_id = e.dept_id AND d.budget > 250000)",
+    "SELECT name FROM employees WHERE dept_id IN (SELECT dept_id FROM departments WHERE budget >= 300000)",
+    "SELECT d.dept_name, (SELECT COUNT(*) FROM employees e WHERE e.dept_id = d.dept_id) AS headcount FROM departments d ORDER BY headcount DESC, dept_name",
+    "SELECT DISTINCT dept_id FROM employees ORDER BY dept_id",
+    "SELECT name FROM employees ORDER BY salary DESC LIMIT 2 OFFSET 1",
+    "SELECT name FROM employees WHERE salary > 100000 UNION SELECT dept_name FROM departments ORDER BY 1",
+    "SELECT dept_id FROM employees INTERSECT SELECT dept_id FROM departments",
+    "SELECT dept_id FROM departments EXCEPT SELECT dept_id FROM employees WHERE dept_id IS NOT NULL",
+    "WITH rich AS (SELECT dept_id, COUNT(*) AS n FROM employees WHERE salary > 80000 GROUP BY dept_id) SELECT * FROM rich ORDER BY n DESC",
+    "SELECT name || '-' || dept_id FROM employees WHERE dept_id IS NOT NULL ORDER BY 1",
+    "SELECT -salary, +salary, NOT (salary > 90000) FROM employees ORDER BY 1",
+    "SELECT COALESCE(dept_id, -1), IFNULL(dept_id, 0) FROM employees ORDER BY 1",
+    "SELECT salary / 0 FROM employees",
+    "SELECT salary % 2 FROM employees ORDER BY 1",
+]
+
+
+@pytest.mark.parametrize("sql", EXPRESSION_QUERIES)
+def test_expression_parity(hr_database, sql):
+    assert_parity(hr_database, sql)
+
+
+def test_error_parity_for_bad_queries(hr_database):
+    for sql in (
+        "SELECT nope FROM employees",
+        "SELECT UNKNOWN_FN(salary) FROM employees",
+        "SELECT * FROM missing_table",
+        "SELECT SUM(salary) FROM employees WHERE SUM(salary) > 1",
+    ):
+        compiled, interpreted = run_both_modes(hr_database, sql)
+        assert isinstance(compiled, ReproError), sql
+        assert isinstance(interpreted, ReproError), sql
+        assert type(compiled) is type(interpreted), sql
+        assert str(compiled) == str(interpreted), sql
+
+
+def test_parity_after_dml(hr_database):
+    """Caches must not leak stale results into either mode after inserts."""
+    sql = "SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id"
+    assert_parity(hr_database, sql)
+    hr_database.execute(
+        "INSERT INTO employees (emp_id, name, salary, dept_id, hire_date) VALUES "
+        "(7, 'Grace', 101000, 3, '2023-01-01')"
+    )
+    assert_parity(hr_database, sql)
+    compiled, _ = run_both_modes(hr_database, "SELECT COUNT(*) FROM employees")
+    assert compiled.rows == [(7,)]
+
+
+def test_using_join_missing_column_raises_execution_error(hr_database):
+    """Regression: a USING column absent from one side must raise a proper
+    ExecutionError naming the column, not a bare StopIteration."""
+    with pytest.raises(ExecutionError, match="USING column 'budget'.*left side"):
+        hr_database.execute(
+            "SELECT * FROM employees JOIN departments USING (budget)"
+        )
+    hr_database.executor_mode = "interpreted"
+    with pytest.raises(ExecutionError, match="USING column 'budget'"):
+        hr_database.execute(
+            "SELECT * FROM employees JOIN departments USING (budget)"
+        )
