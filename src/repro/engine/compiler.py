@@ -11,9 +11,13 @@ into a plain Python closure ``row -> value``:
 * IN-lists of literals are materialised once.
 
 Compilation is best-effort: :func:`compile_row_expression` returns ``None``
-for anything it cannot handle — subqueries (which may be correlated), outer
-column references, aggregates in row position, bind parameters — and the
-executor falls back to the interpreter *for that expression only*.  Every
+for anything it cannot handle — outer column references, aggregates in row
+position, bind parameters — and the executor falls back to the interpreter
+*for that expression only*.  Subqueries (IN/EXISTS/scalar) compile when the
+caller supplies a ``subqueries`` handler: the handler maps a subquery node to
+a ``row -> QueryResult`` runner (the executor binds its cached-subquery
+machinery there, so correlated subqueries execute through the compiled path
+too).  Without a handler they fall back to the interpreter as before.  Every
 compiled closure mirrors the corresponding interpreter branch exactly
 (including NULL propagation quirks), so the two paths produce bit-identical
 results; ``tests/test_engine_parity.py`` enforces this.
@@ -48,12 +52,15 @@ from repro.sql.ast_nodes import (
     CaseWhen,
     Cast,
     ColumnRef,
+    Exists,
     Expression,
     FunctionCall,
     InList,
+    InSubquery,
     IsNull,
     Like,
     Literal,
+    ScalarSubquery,
     Star,
     UnaryOp,
 )
@@ -62,6 +69,10 @@ from repro.sql.ast_nodes import (
 RowFn = Callable[[tuple], SQLValue]
 #: Group-mode compiled expression: maps (group rows, representative row) to a value.
 GroupFn = Callable[[list, tuple], SQLValue]
+#: Subquery handler: maps a subquery Select node to a ``row -> QueryResult``
+#: runner.  Supplied by the executor, which binds its own row context and
+#: cached-subquery machinery into the runner.
+SubqueryHandler = Callable[[object], Callable[[tuple], object]]
 
 #: Aggregate function names (kept in sync with the executor's dispatch set).
 AGGREGATE_NAMES = frozenset(
@@ -76,18 +87,26 @@ class CannotCompile(Exception):
     """Internal control flow: the expression must run on the interpreter."""
 
 
-def compile_row_expression(expression: Expression, relation: Relation) -> RowFn | None:
+def compile_row_expression(
+    expression: Expression,
+    relation: Relation,
+    subqueries: SubqueryHandler | None = None,
+) -> RowFn | None:
     """Compile an expression against a relation, or ``None`` if unsupported."""
     try:
-        return _row(expression, relation)
+        return _row(expression, relation, subqueries)
     except CannotCompile:
         return None
 
 
-def compile_group_expression(expression: Expression, relation: Relation) -> GroupFn | None:
+def compile_group_expression(
+    expression: Expression,
+    relation: Relation,
+    subqueries: SubqueryHandler | None = None,
+) -> GroupFn | None:
     """Compile an aggregation-mode expression, or ``None`` if unsupported."""
     try:
-        return _group(expression, relation)
+        return _group(expression, relation, subqueries)
     except CannotCompile:
         return None
 
@@ -97,7 +116,9 @@ def compile_group_expression(expression: Expression, relation: Relation) -> Grou
 # ---------------------------------------------------------------------------
 
 
-def _row(expression: Expression, relation: Relation) -> RowFn:
+def _row(
+    expression: Expression, relation: Relation, subqueries: SubqueryHandler | None
+) -> RowFn:
     if isinstance(expression, Literal):
         value = expression.value
         return lambda row: value
@@ -112,18 +133,18 @@ def _row(expression: Expression, relation: Relation) -> RowFn:
         return lambda row: row[index]
 
     if isinstance(expression, BinaryOp):
-        return _row_binary(expression, relation)
+        return _row_binary(expression, relation, subqueries)
 
     if isinstance(expression, UnaryOp):
-        operand = _row(expression.operand, relation)
+        operand = _row(expression.operand, relation, subqueries)
         op = expression.op
         return lambda row: apply_unary(op, operand(row))
 
     if isinstance(expression, FunctionCall):
-        return _row_function(expression, relation)
+        return _row_function(expression, relation, subqueries)
 
     if isinstance(expression, Cast):
-        operand = _row(expression.operand, relation)
+        operand = _row(expression.operand, relation, subqueries)
         data_type = DataType.from_sql(expression.target_type)
 
         def cast_fn(row: tuple) -> SQLValue:
@@ -136,11 +157,11 @@ def _row(expression: Expression, relation: Relation) -> RowFn:
 
     if isinstance(expression, CaseWhen):
         pairs = [
-            (_row(condition, relation), _row(result, relation))
+            (_row(condition, relation, subqueries), _row(result, relation, subqueries))
             for condition, result in expression.conditions
         ]
         else_fn = (
-            _row(expression.else_result, relation)
+            _row(expression.else_result, relation, subqueries)
             if expression.else_result is not None
             else None
         )
@@ -154,18 +175,18 @@ def _row(expression: Expression, relation: Relation) -> RowFn:
         return case_fn
 
     if isinstance(expression, IsNull):
-        operand = _row(expression.operand, relation)
+        operand = _row(expression.operand, relation, subqueries)
         if expression.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
 
     if isinstance(expression, InList):
-        return _row_in_list(expression, relation)
+        return _row_in_list(expression, relation, subqueries)
 
     if isinstance(expression, Between):
-        operand = _row(expression.operand, relation)
-        low = _row(expression.low, relation)
-        high = _row(expression.high, relation)
+        operand = _row(expression.operand, relation, subqueries)
+        low = _row(expression.low, relation, subqueries)
+        high = _row(expression.high, relation, subqueries)
         negated = expression.negated
 
         def between_fn(row: tuple) -> SQLValue:
@@ -183,19 +204,63 @@ def _row(expression: Expression, relation: Relation) -> RowFn:
         return between_fn
 
     if isinstance(expression, Like):
-        return _row_like(expression, relation)
+        return _row_like(expression, relation, subqueries)
 
-    # Star, Parameter, InSubquery, Exists, ScalarSubquery, unknown nodes:
-    # the interpreter owns these (errors, correlated execution, caching).
+    if isinstance(expression, InSubquery) and subqueries is not None:
+        operand = _row(expression.operand, relation, subqueries)
+        run = subqueries(expression.subquery)
+        negated = expression.negated
+
+        def in_subquery_fn(row: tuple) -> SQLValue:
+            value = operand(row)
+            if value is None:
+                return None
+            result = run(row)
+            contained = any(
+                inner_row and inner_row[0] is not None
+                and compare_values(value, inner_row[0]) == 0
+                for inner_row in result.rows
+            )
+            return not contained if negated else contained
+
+        return in_subquery_fn
+
+    if isinstance(expression, Exists) and subqueries is not None:
+        run = subqueries(expression.subquery)
+        negated = expression.negated
+
+        def exists_fn(row: tuple) -> SQLValue:
+            exists = len(run(row).rows) > 0
+            return not exists if negated else exists
+
+        return exists_fn
+
+    if isinstance(expression, ScalarSubquery) and subqueries is not None:
+        run = subqueries(expression.query)
+
+        def scalar_subquery_fn(row: tuple) -> SQLValue:
+            result = run(row)
+            if not result.rows:
+                return None
+            if len(result.rows[0]) != 1:
+                raise ExecutionError("scalar subquery must return exactly one column")
+            return result.rows[0][0]
+
+        return scalar_subquery_fn
+
+    # Star, Parameter, unknown nodes — and subqueries when no handler was
+    # supplied: the interpreter owns these (errors, correlated execution).
     raise CannotCompile(type(expression).__name__)
 
 
-def _row_binary(expression: BinaryOp, relation: Relation) -> RowFn:
+def _row_binary(
+    expression: BinaryOp, relation: Relation, subqueries: SubqueryHandler | None
+) -> RowFn:
     op = expression.op
 
     if op is BinaryOperator.AND:
-        left = _row(expression.left, relation)
-        right = _row(expression.right, relation)
+        left = _row(expression.left, relation, subqueries)
+        right = _row(expression.right, relation, subqueries)
 
         def and_fn(row: tuple) -> SQLValue:
             left_value = left(row)
@@ -211,8 +276,8 @@ def _row_binary(expression: BinaryOp, relation: Relation) -> RowFn:
         return and_fn
 
     if op is BinaryOperator.OR:
-        left = _row(expression.left, relation)
-        right = _row(expression.right, relation)
+        left = _row(expression.left, relation, subqueries)
+        right = _row(expression.right, relation, subqueries)
 
         def or_fn(row: tuple) -> SQLValue:
             left_value = left(row)
@@ -227,8 +292,8 @@ def _row_binary(expression: BinaryOp, relation: Relation) -> RowFn:
 
         return or_fn
 
-    left = _row(expression.left, relation)
-    right = _row(expression.right, relation)
+    left = _row(expression.left, relation, subqueries)
+    right = _row(expression.right, relation, subqueries)
 
     comparator = _COMPARISON_FACTORIES.get(op)
     if comparator is not None:
@@ -306,7 +371,9 @@ _ARITHMETIC_OPERATIONS = {
 }
 
 
-def _row_function(expression: FunctionCall, relation: Relation) -> RowFn:
+def _row_function(
+    expression: FunctionCall, relation: Relation, subqueries: SubqueryHandler | None
+) -> RowFn:
     upper = expression.upper_name
     if upper in AGGREGATE_NAMES:
         # Aggregates need group context; row mode cannot supply it.
@@ -317,15 +384,17 @@ def _row_function(expression: FunctionCall, relation: Relation) -> RowFn:
         raise CannotCompile(upper)
     if not expression.args and upper not in _ZERO_ARG_SCALARS:
         raise CannotCompile(f"{upper} with no arguments")
-    arg_fns = [_row(arg, relation) for arg in expression.args]
+    arg_fns = [_row(arg, relation, subqueries) for arg in expression.args]
     if len(arg_fns) == 1:
         only = arg_fns[0]
         return lambda row: function([only(row)])
     return lambda row: function([arg_fn(row) for arg_fn in arg_fns])
 
 
-def _row_in_list(expression: InList, relation: Relation) -> RowFn:
-    operand = _row(expression.operand, relation)
+def _row_in_list(
+    expression: InList, relation: Relation, subqueries: SubqueryHandler | None
+) -> RowFn:
+    operand = _row(expression.operand, relation, subqueries)
     negated = expression.negated
     if all(isinstance(member, Literal) for member in expression.values):
         members = tuple(member.value for member in expression.values)
@@ -342,7 +411,7 @@ def _row_in_list(expression: InList, relation: Relation) -> RowFn:
 
         return static_in_fn
 
-    member_fns = [_row(member, relation) for member in expression.values]
+    member_fns = [_row(member, relation, subqueries) for member in expression.values]
 
     def dynamic_in_fn(row: tuple) -> SQLValue:
         value = operand(row)
@@ -357,8 +426,10 @@ def _row_in_list(expression: InList, relation: Relation) -> RowFn:
     return dynamic_in_fn
 
 
-def _row_like(expression: Like, relation: Relation) -> RowFn:
-    operand = _row(expression.operand, relation)
+def _row_like(
+    expression: Like, relation: Relation, subqueries: SubqueryHandler | None
+) -> RowFn:
+    operand = _row(expression.operand, relation, subqueries)
     negated = expression.negated
     if isinstance(expression.pattern, Literal):
         pattern_value = expression.pattern.value
@@ -380,7 +451,7 @@ def _row_like(expression: Like, relation: Relation) -> RowFn:
 
         return static_like_fn
 
-    pattern_fn = _row(expression.pattern, relation)
+    pattern_fn = _row(expression.pattern, relation, subqueries)
 
     def dynamic_like_fn(row: tuple) -> SQLValue:
         value = operand(row)
@@ -398,7 +469,9 @@ def _row_like(expression: Like, relation: Relation) -> RowFn:
 # ---------------------------------------------------------------------------
 
 
-def _group(expression: Expression, relation: Relation) -> GroupFn:
+def _group(
+    expression: Expression, relation: Relation, subqueries: SubqueryHandler | None
+) -> GroupFn:
     if isinstance(expression, FunctionCall) and expression.upper_name in AGGREGATE_NAMES:
         upper = expression.upper_name
         distinct = expression.distinct
@@ -410,7 +483,7 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
 
             return star_fn
 
-        arg_fn = _row(expression.args[0], relation)
+        arg_fn = _row(expression.args[0], relation, subqueries)
 
         def aggregate_fn(group_rows: list, representative: tuple) -> SQLValue:
             return call_aggregate(
@@ -420,8 +493,8 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
         return aggregate_fn
 
     if isinstance(expression, BinaryOp):
-        left = _group(expression.left, relation)
-        right = _group(expression.right, relation)
+        left = _group(expression.left, relation, subqueries)
+        right = _group(expression.right, relation, subqueries)
         op = expression.op
         # NB: the interpreter's aggregate-aware path evaluates AND/OR through
         # apply_binary (no short-circuit); mirror that exactly.
@@ -430,7 +503,7 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
         )
 
     if isinstance(expression, UnaryOp):
-        operand = _group(expression.operand, relation)
+        operand = _group(expression.operand, relation, subqueries)
         op = expression.op
         return lambda group_rows, representative: apply_unary(
             op, operand(group_rows, representative)
@@ -438,18 +511,18 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
 
     if isinstance(expression, FunctionCall) and expression.upper_name in SCALAR_FUNCTIONS:
         function = SCALAR_FUNCTIONS[expression.upper_name]
-        arg_fns = [_group(arg, relation) for arg in expression.args]
+        arg_fns = [_group(arg, relation, subqueries) for arg in expression.args]
         return lambda group_rows, representative: function(
             [arg_fn(group_rows, representative) for arg_fn in arg_fns]
         )
 
     if isinstance(expression, CaseWhen):
         pairs = [
-            (_group(condition, relation), _group(result, relation))
+            (_group(condition, relation, subqueries), _group(result, relation, subqueries))
             for condition, result in expression.conditions
         ]
         else_fn = (
-            _group(expression.else_result, relation)
+            _group(expression.else_result, relation, subqueries)
             if expression.else_result is not None
             else None
         )
@@ -463,7 +536,7 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
         return case_fn
 
     if isinstance(expression, Cast):
-        operand = _group(expression.operand, relation)
+        operand = _group(expression.operand, relation, subqueries)
         data_type = DataType.from_sql(expression.target_type)
 
         def cast_fn(group_rows: list, representative: tuple) -> SQLValue:
@@ -479,7 +552,7 @@ def _group(expression: Expression, relation: Relation) -> GroupFn:
     # (the interpreter would aggregate it via the group context).
     if contains_aggregate(expression):
         raise CannotCompile(type(expression).__name__)
-    row_fn = _row(expression, relation)
+    row_fn = _row(expression, relation, subqueries)
     return lambda group_rows, representative: row_fn(representative)
 
 

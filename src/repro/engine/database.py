@@ -25,9 +25,22 @@ from collections import OrderedDict
 
 from repro.errors import CatalogError, ExecutionError
 from repro.engine.executor import EXECUTOR_MODES, Executor, QueryResult
+from repro.engine.planner import DEFAULT_PLAN_STALENESS
+from repro.engine.runtime import is_true
+from repro.engine.stats import StatsCatalog
 from repro.engine.storage import StoredColumn, StoredTable
 from repro.engine.types import DataType, SQLValue
-from repro.sql.ast_nodes import CreateTable, Insert, Literal, Select, Statement, UnaryOp, UnaryOperator
+from repro.sql.ast_nodes import (
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Literal,
+    Select,
+    Statement,
+    UnaryOp,
+    UnaryOperator,
+)
 from repro.sql.parser import parse, parse_many
 
 #: Default capacity of the SQL-text -> AST statement cache.
@@ -50,6 +63,7 @@ class Database:
         name: str = "main",
         executor_mode: str = "compiled",
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        plan_staleness_threshold: int = DEFAULT_PLAN_STALENESS,
     ) -> None:
         self.name = name
         self._tables: dict[str, StoredTable] = {}
@@ -61,6 +75,10 @@ class Database:
         self._statement_cache_size = statement_cache_size
         self.statement_cache_hits = 0
         self.statement_cache_misses = 0
+        #: Data-version drift after which cached source plans re-derive costs.
+        self.plan_staleness_threshold = plan_staleness_threshold
+        #: Incrementally-maintained per-table statistics for the planner.
+        self.stats = StatsCatalog(self)
         self._executor = Executor(self, mode=executor_mode)
 
     # ------------------------------------------------------------------
@@ -69,7 +87,7 @@ class Database:
 
     @property
     def executor_mode(self) -> str:
-        """Expression-evaluation mode: ``"compiled"`` or ``"interpreted"``."""
+        """Evaluation mode: ``"compiled"``, ``"interpreted"`` or ``"planned"``."""
         return self._executor.mode
 
     @executor_mode.setter
@@ -191,11 +209,32 @@ class Database:
             return self._execute_create_table(statement)
         if isinstance(statement, Insert):
             return self._execute_insert(statement)
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, DropTable):
+            return self._execute_drop_table(statement)
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
     def query(self, sql: str) -> list[tuple[SQLValue, ...]]:
         """Execute a SELECT and return just the rows."""
         return self.execute(sql).rows
+
+    def explain(self, sql: str) -> dict:
+        """Describe how the source planner would execute a statement.
+
+        For a plannable SELECT the dict carries the chosen join order, the
+        predicates pushed to each scan, and estimated cardinalities; for
+        everything else it carries ``planned: False`` plus the reason.  Works
+        in every executor mode — the plan is only *used* in ``"planned"``.
+        """
+        statement = self.parse_cached(sql)
+        if not isinstance(statement, Select):
+            return {
+                "statement": type(statement).__name__,
+                "planned": False,
+                "reason": "not a SELECT statement",
+            }
+        return self._executor.explain_select(statement)
 
     # ------------------------------------------------------------------
     # cache invalidation
@@ -255,6 +294,24 @@ class Database:
                 table.insert_row(values)
             inserted += 1
         return QueryResult(columns=["rows_inserted"], rows=[(inserted,)])
+
+    def _execute_delete(self, statement: Delete) -> QueryResult:
+        table = self.table(statement.table)
+        if statement.where is None:
+            deleted = table.delete_rows()
+        else:
+            relation = table.to_relation()
+            predicate = self._executor._row_evaluator(statement.where, relation, None)
+            deleted = table.delete_rows(lambda row: is_true(predicate(row)))
+        return QueryResult(columns=["rows_deleted"], rows=[(deleted,)])
+
+    def _execute_drop_table(self, statement: DropTable) -> QueryResult:
+        if not self.has_table(statement.name):
+            if statement.if_exists:
+                return QueryResult(columns=[], rows=[])
+            raise CatalogError(f"unknown table {statement.name!r}")
+        self.drop_table(statement.name)
+        return QueryResult(columns=[], rows=[])
 
     @staticmethod
     def _literal_value(expression) -> SQLValue:

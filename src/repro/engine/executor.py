@@ -12,7 +12,7 @@ by the workload generators and needed by the evaluation harnesses:
 * correlated and uncorrelated subqueries (scalar, IN, EXISTS),
 * common table expressions, set operations, DISTINCT, ORDER BY, LIMIT/OFFSET.
 
-The executor has two expression-evaluation paths, selected by ``mode``:
+The executor has three expression-evaluation paths, selected by ``mode``:
 
 * ``"compiled"`` (default): each WHERE predicate, join condition, projection
   item, grouping key, ORDER BY key and HAVING clause is compiled once into a
@@ -20,9 +20,14 @@ The executor has two expression-evaluation paths, selected by ``mode``:
   (:mod:`repro.engine.compiler`); AND-of-equality join conditions run as
   multi-key hash joins; compiled plans are cached per AST node and relation
   shape, invalidated by the database's catalog version.
+* ``"planned"``: everything ``"compiled"`` does, plus a cost-based source
+  planner (:mod:`repro.engine.planner`) that reorders INNER-join chains and
+  pushes single-table WHERE conjuncts below the joins as scan pre-filters.
+  Queries the planner cannot prove equivalent fall back to the compiled
+  path, so planned results stay bit-identical to the other two modes.
 * ``"interpreted"``: the original per-row tree-walking evaluator, kept
   verbatim as the semantic reference.  The parity suite runs every query
-  through both modes and asserts bit-identical results.
+  through all modes and asserts bit-identical results.
 
 Expressions the compiler cannot handle (correlated subqueries, outer column
 references, unknown functions) transparently fall back to the interpreter
@@ -34,7 +39,7 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass, field
 
-from repro.errors import ExecutionError
+from repro.errors import EngineError, ExecutionError
 from repro.engine.compiler import (
     AGGREGATE_NAMES as _AGGREGATE_NAMES,
     compile_group_expression,
@@ -89,7 +94,7 @@ from repro.sql.ast_nodes import (
 _ORDER_KEY_MISS = object()
 
 #: Executor modes understood by :class:`Executor` and :class:`Database`.
-EXECUTOR_MODES = ("compiled", "interpreted")
+EXECUTOR_MODES = ("compiled", "interpreted", "planned")
 
 #: Compiled-plan cache bound; the cache is cleared wholesale beyond this.
 _PLAN_CACHE_LIMIT = 4096
@@ -157,16 +162,39 @@ class Executor:
         # cache entry is alive; each entry is tagged with the database's data
         # version so DML invalidates it lazily without a full clear.
         self._subquery_cache: dict[int, tuple[Select, int, QueryResult]] = {}
+        # Subqueries known to be correlated (their context-free execution
+        # failed once); they skip the doomed context-free attempt afterwards.
+        self._subquery_kind: dict[int, tuple[Select, bool]] = {}
         # Compiled-plan cache: (node id, kind, relation signature) -> closure
         # (or None for known-uncompilable expressions).  Tagged with the
         # catalog version: schema changes can move column indices.
         self._plan_cache: dict[tuple, tuple[object, object]] = {}
         self._plan_version: int = -1
+        # Source planner (join reordering + predicate pushdown); created
+        # lazily so the import stays off the interpreted/compiled hot path.
+        self._planner = None
+
+    @property
+    def planner(self):
+        """The database's :class:`~repro.engine.planner.QueryPlanner`."""
+        if self._planner is None:
+            from repro.engine.planner import QueryPlanner
+
+            self._planner = QueryPlanner(
+                self._database,
+                staleness_threshold=getattr(
+                    self._database, "plan_staleness_threshold", 64
+                ),
+            )
+        return self._planner
 
     def clear_cache(self) -> None:
-        """Drop cached subquery results and compiled plans."""
+        """Drop cached subquery results, compiled plans and source plans."""
         self._subquery_cache.clear()
+        self._subquery_kind.clear()
         self._plan_cache.clear()
+        if self._planner is not None:
+            self._planner.clear()
 
     def _execute_subquery_cached(self, subquery: Select, context: RowContext) -> QueryResult:
         """Execute a subquery, caching the result when it is uncorrelated.
@@ -176,21 +204,29 @@ class Executor:
         reused for every outer row — and, because entries are tagged with the
         database's data version, across repeated executions of the same cached
         statement until the next DML.  Correlated subqueries fall back to
-        per-row execution.
+        per-row execution, and are remembered as correlated so later rows skip
+        the doomed context-free attempt.
         """
         version = self._database.data_version
         key = id(subquery)
         cached = self._subquery_cache.get(key)
         if cached is not None and cached[0] is subquery and cached[1] == version:
             return cached[2]
-        try:
-            result = self.execute_select(subquery, None)
-        except ExecutionError:
-            return self.execute_select(subquery, context)
-        if len(self._subquery_cache) >= _SUBQUERY_CACHE_LIMIT:
-            self._subquery_cache.clear()
-        self._subquery_cache[key] = (subquery, version, result)
-        return result
+        kind = self._subquery_kind.get(key)
+        known_correlated = kind is not None and kind[0] is subquery and kind[1]
+        if not known_correlated:
+            try:
+                result = self.execute_select(subquery, None)
+            except ExecutionError:
+                if len(self._subquery_kind) >= _SUBQUERY_CACHE_LIMIT:
+                    self._subquery_kind.clear()
+                self._subquery_kind[key] = (subquery, True)
+            else:
+                if len(self._subquery_cache) >= _SUBQUERY_CACHE_LIMIT:
+                    self._subquery_cache.clear()
+                self._subquery_cache[key] = (subquery, version, result)
+                return result
+        return self.execute_select(subquery, context)
 
     # ------------------------------------------------------------------
     # compiled-plan helpers
@@ -217,19 +253,52 @@ class Executor:
         self._plan_cache[key] = (anchor, value)
         return value
 
+    def _subquery_handler(self, relation: Relation):
+        """Compiler hook: maps a subquery node to a ``row -> QueryResult`` runner.
+
+        The runner binds the evaluating row as the subquery's outer context, so
+        correlated subqueries execute through compiled closures too (sharing
+        the uncorrelated-result cache with the interpreter).  Only used for
+        top-level expressions (``outer is None``): a deeper context chain needs
+        the interpreter's parent links.
+        """
+
+        def handler(subquery: Select):
+            def run(row: tuple) -> QueryResult:
+                return self._execute_subquery_cached(
+                    subquery, RowContext(relation=relation, row=row)
+                )
+
+            return run
+
+        return handler
+
     def _row_evaluator(self, expression: Expression, relation: Relation, outer: RowContext | None):
         """Best closure for evaluating ``expression`` once per row.
 
         Compiled when possible (and cached per relation shape); otherwise an
         interpreter fallback that builds a :class:`RowContext` per row.
+        Subqueries compile only at the top level (no enclosing context): the
+        compiled runners bind the evaluating row as the sole outer context,
+        which a nested evaluation cannot represent.
         """
-        if self.mode == "compiled":
-            compiled = self._cached_plan(
-                expression,
-                "row",
-                tuple(relation.labels),
-                lambda: compile_row_expression(expression, relation),
-            )
+        if self.mode != "interpreted":
+            if outer is None:
+                compiled = self._cached_plan(
+                    expression,
+                    "row",
+                    tuple(relation.labels),
+                    lambda: compile_row_expression(
+                        expression, relation, self._subquery_handler(relation)
+                    ),
+                )
+            else:
+                compiled = self._cached_plan(
+                    expression,
+                    "row-nested",
+                    tuple(relation.labels),
+                    lambda: compile_row_expression(expression, relation),
+                )
             if compiled is not None:
                 return compiled
 
@@ -240,13 +309,23 @@ class Executor:
 
     def _group_evaluator(self, expression: Expression, source: Relation, outer: RowContext | None):
         """Best closure for evaluating an aggregation-mode expression per group."""
-        if self.mode == "compiled":
-            compiled = self._cached_plan(
-                expression,
-                "group",
-                tuple(source.labels),
-                lambda: compile_group_expression(expression, source),
-            )
+        if self.mode != "interpreted":
+            if outer is None:
+                compiled = self._cached_plan(
+                    expression,
+                    "group",
+                    tuple(source.labels),
+                    lambda: compile_group_expression(
+                        expression, source, self._subquery_handler(source)
+                    ),
+                )
+            else:
+                compiled = self._cached_plan(
+                    expression,
+                    "group-nested",
+                    tuple(source.labels),
+                    lambda: compile_group_expression(expression, source),
+                )
             if compiled is not None:
                 return compiled
 
@@ -264,6 +343,10 @@ class Executor:
 
     def execute_select(self, select: Select, outer: RowContext | None = None) -> QueryResult:
         """Execute a SELECT and return a materialised result."""
+        return self._execute_body(select, self._cte_scope(select, outer), outer)
+
+    def _cte_scope(self, select: Select, outer: RowContext | None) -> dict[str, Relation]:
+        """Materialise a SELECT's CTEs into a name -> relation scope."""
         cte_scope: dict[str, Relation] = {}
         for cte in select.ctes:
             result = self.execute_select(cte.query, outer)
@@ -279,8 +362,20 @@ class Executor:
                     rows=relation.rows,
                 )
             cte_scope[cte.name.lower()] = relation
+        return cte_scope
 
-        return self._execute_body(select, cte_scope, outer)
+    def explain_select(self, select: Select) -> dict:
+        """Describe how the planner would execute a SELECT's source.
+
+        Works in every executor mode (the plan is only *used* in
+        ``"planned"`` mode); set operations report the left input's plan.
+        """
+        info: dict = {"statement": "Select", "executor_mode": self.mode}
+        target = select
+        if select.set_operator is not None and select.set_right is not None:
+            info["set_operation"] = select.set_operator.value
+        info.update(self.planner.explain(target, self._cte_scope(select, None)))
+        return info
 
     # ------------------------------------------------------------------
     # core execution
@@ -292,21 +387,27 @@ class Executor:
         if select.set_operator is not None and select.set_right is not None:
             return self._execute_set_operation(select, cte_scope, outer)
 
-        source = self._execute_relation(select.from_relation, cte_scope, outer)
-
-        # WHERE
-        filtered_rows: list[tuple[SQLValue, ...]] = []
-        if select.where is not None:
-            if self.mode == "compiled":
-                predicate = self._row_evaluator(select.where, source, outer)
-                filtered_rows = [row for row in source.rows if _is_true(predicate(row))]
-            else:
-                for row in source.rows:
-                    context = RowContext(relation=source, row=row, parent=outer)
-                    if _is_true(self._evaluate(select.where, context)):
-                        filtered_rows.append(row)
+        planned = (
+            self._execute_planned(select, cte_scope, outer) if self.mode == "planned" else None
+        )
+        if planned is not None:
+            source, filtered_rows = planned
         else:
-            filtered_rows = list(source.rows)
+            source = self._execute_relation(select.from_relation, cte_scope, outer)
+
+            # WHERE
+            filtered_rows = []
+            if select.where is not None:
+                if self.mode != "interpreted":
+                    predicate = self._row_evaluator(select.where, source, outer)
+                    filtered_rows = [row for row in source.rows if _is_true(predicate(row))]
+                else:
+                    for row in source.rows:
+                        context = RowContext(relation=source, row=row, parent=outer)
+                        if _is_true(self._evaluate(select.where, context)):
+                            filtered_rows.append(row)
+            else:
+                filtered_rows = list(source.rows)
 
         needs_aggregation = bool(select.group_by) or self._has_aggregate_items(select)
 
@@ -327,6 +428,38 @@ class Executor:
             result = QueryResult(columns=result.columns, rows=result.rows[offset:end])
 
         return result
+
+    def _execute_planned(
+        self, select: Select, cte_scope: dict[str, Relation], outer: RowContext | None
+    ) -> tuple[Relation, list[tuple[SQLValue, ...]]] | None:
+        """Produce (source, filtered rows) through the source planner.
+
+        Returns None when the query is unplannable or the planned execution
+        hits an engine error (e.g. a pushed-down predicate raising on a row
+        the textual evaluation order would never have reached); the caller
+        then runs the standard compiled path, which defines the semantics.
+        """
+        plan = self.planner.plan_for(select, cte_scope)
+        if plan is None:
+            return None
+        try:
+            leaf_rows = []
+            for scan in plan.scans:
+                if scan.kind == "cte":
+                    relation = cte_scope.get(scan.source.lower())
+                    if relation is None or len(relation.labels) != len(scan.labels):
+                        return None
+                    leaf_rows.append(relation.rows)
+                else:
+                    leaf_rows.append(self._database.table(scan.source).rows)
+            rows = plan.execute(leaf_rows)
+        except EngineError:
+            return None
+        source = Relation(labels=list(plan.labels), rows=rows)
+        if plan.post_filter is not None:
+            predicate = self._row_evaluator(plan.post_filter, source, outer)
+            rows = [row for row in rows if _is_true(predicate(row))]
+        return source, rows
 
     def _execute_set_operation(
         self, select: Select, cte_scope: dict[str, Relation], outer: RowContext | None
@@ -411,7 +544,7 @@ class Executor:
 
         condition = join.condition
         if join.using_columns and condition is None:
-            if self.mode == "compiled":
+            if self.mode != "interpreted":
                 condition = self._cached_plan(
                     join,
                     "using",
@@ -421,7 +554,7 @@ class Executor:
             else:
                 condition = self._build_using_condition(join.using_columns, left, right)
 
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             rows, matched_right = self._join_rows_compiled(
                 join, left, right, combined, condition, outer
             )
@@ -458,22 +591,12 @@ class Executor:
         key_pairs: list[tuple[int, int]] = []
         residual: Expression | None = None
         if condition is not None:
-            key_pairs, residual, validate_key_types = self._cached_plan(
+            key_pairs, residual = self._cached_plan(
                 condition,
                 "join",
                 tuple(combined.labels),
                 lambda: self._hash_join_plan(condition, left, combined),
             )
-            # Multi-key plans bucket by Python equality while the interpreter's
-            # nested loop compares via compare_values, whose string fallback can
-            # equate cross-type keys (1 = '1') that hash apart.  When the key
-            # columns are not type-homogeneous, give up the hash keys and run
-            # the bit-identical nested loop instead.  (Single-equality plans
-            # reuse the interpreter's own hash path, types and all.)
-            if key_pairs and validate_key_types and not _hash_keys_safe(
-                key_pairs, left.rows, right.rows
-            ):
-                key_pairs, residual = [], condition
 
         if key_pairs:
             residual_fn = (
@@ -554,7 +677,7 @@ class Executor:
 
     def _hash_join_plan(
         self, condition: Expression, left: Relation, combined: Relation
-    ) -> tuple[list[tuple[int, int]], Expression | None, bool]:
+    ) -> tuple[list[tuple[int, int]], Expression | None]:
         """Split an AND-tree join condition into hash keys plus a residual.
 
         Each conjunct that is a plain column equality spanning the two join
@@ -564,9 +687,12 @@ class Executor:
         nested loop by construction.  Conjuncts that do not qualify are folded
         back into a residual expression evaluated on each key-matched row.
 
-        The third element says whether the key columns must be checked for
-        type homogeneity at execution time (True for multi-key plans, whose
-        interpreted reference is the compare_values-based nested loop).
+        Join-key equality is *bucket* equality everywhere: values are
+        normalised through :func:`repro.engine.runtime.hashable_key` and then
+        compared with Python ``==`` (``1`` joins ``1.0`` but not ``'1'``;
+        NULL never joins).  Both executor modes and both join strategies
+        share this one definition, so multi-key hash joins never need to fall
+        back to a compare_values nested loop.
         """
         conjuncts = _split_conjuncts(condition)
         left_width = len(left.labels)
@@ -578,8 +704,8 @@ class Executor:
             right = Relation(labels=combined.labels[left_width:])
             single = self._equi_join_columns(condition, left, right)
             if single is not None:
-                return [single], None, False
-            return [], condition, False
+                return [single], None
+            return [], condition
         pairs: list[tuple[int, int]] = []
         residual: list[Expression] = []
         for conjunct in conjuncts:
@@ -602,7 +728,7 @@ class Executor:
                     pairs.append((second, first - left_width))
                     continue
             residual.append(conjunct)
-        return pairs, _conjoin(residual), True
+        return pairs, _conjoin(residual)
 
     # -- interpreted join path (the original engine, kept verbatim) ----
 
@@ -619,6 +745,14 @@ class Executor:
         matched_right: set[int] = set()
 
         equi_columns = self._equi_join_columns(condition, left, right)
+        multi_key: tuple[list[tuple[int, int]], Expression | None] | None = None
+        if equi_columns is None and condition is not None:
+            # Multi-key equality conditions share the hash plan's key
+            # extraction (and its bucket-equality semantics) but stay on a
+            # nested loop: the interpreter is the slow semantic reference.
+            pairs, residual = self._hash_join_plan(condition, left, combined)
+            if pairs:
+                multi_key = (pairs, residual)
         if equi_columns is not None:
             left_index, right_index_position = equi_columns
             buckets: dict[object, list[int]] = {}
@@ -636,6 +770,32 @@ class Executor:
                         matched_right.add(position)
                 elif join.join_type in (JoinType.LEFT, JoinType.FULL):
                     rows.append(left_row + tuple([None] * len(right.labels)))
+        elif multi_key is not None:
+            pairs, residual = multi_key
+            left_indices = [pair[0] for pair in pairs]
+            right_indices = [pair[1] for pair in pairs]
+            right_pad = tuple([None] * len(right.labels))
+            for left_row in left.rows:
+                left_key = tuple(_hashable(left_row[index]) for index in left_indices)
+                matched = False
+                if not any(value is None for value in left_key):
+                    for right_position, right_row in enumerate(right.rows):
+                        right_key = tuple(
+                            _hashable(right_row[index]) for index in right_indices
+                        )
+                        if right_key != left_key:
+                            continue
+                        if residual is not None:
+                            context = RowContext(
+                                relation=combined, row=left_row + right_row, parent=outer
+                            )
+                            if not _is_true(self._evaluate(residual, context)):
+                                continue
+                        rows.append(left_row + right_row)
+                        matched = True
+                        matched_right.add(right_position)
+                if not matched and join.join_type in (JoinType.LEFT, JoinType.FULL):
+                    rows.append(left_row + right_pad)
         else:
             def matches(left_row: tuple, right_row: tuple) -> bool:
                 if condition is None:
@@ -728,7 +888,7 @@ class Executor:
     ) -> QueryResult:
         items = self._expand_select_items(select, source)
         columns = [_output_name(item, index) for index, item in enumerate(items)]
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             evaluators = [self._row_evaluator(item.expression, source, outer) for item in items]
             output_rows = [tuple(evaluator(row) for evaluator in evaluators) for row in rows]
             return QueryResult(columns=columns, rows=output_rows)
@@ -737,6 +897,34 @@ class Executor:
             context = RowContext(relation=source, row=row, parent=outer)
             output_rows.append(tuple(self._evaluate(item.expression, context) for item in items))
         return QueryResult(columns=columns, rows=output_rows)
+
+    def _group_by_expressions(self, select: Select, source: Relation) -> list[Expression]:
+        """GROUP BY keys with SELECT-item aliases resolved.
+
+        A bare GROUP BY name that does not resolve in the source relation but
+        matches a select-item alias groups by that item's expression — source
+        columns win over aliases, and aggregate-valued aliases are never
+        substituted (grouping by an aggregate is malformed and must keep
+        raising).  Identical in every executor mode.
+        """
+        resolved: list[Expression] = []
+        for expression in select.group_by:
+            substitute: Expression | None = None
+            if isinstance(expression, ColumnRef) and expression.table is None:
+                try:
+                    source.column_index(expression.name, None)
+                except ExecutionError:
+                    name = expression.name.lower()
+                    for item in select.select_items:
+                        if (
+                            item.alias
+                            and item.alias.lower() == name
+                            and not _contains_aggregate(item.expression)
+                        ):
+                            substitute = item.expression
+                            break
+            resolved.append(substitute if substitute is not None else expression)
+        return resolved
 
     def _has_aggregate_items(self, select: Select) -> bool:
         expressions: list[Expression | None] = [item.expression for item in select.select_items]
@@ -758,10 +946,11 @@ class Executor:
 
         groups: dict[tuple, list[tuple[SQLValue, ...]]] = {}
         if select.group_by:
-            if self.mode == "compiled":
+            group_expressions = self._group_by_expressions(select, source)
+            if self.mode != "interpreted":
                 key_evaluators = [
                     self._row_evaluator(expression, source, outer)
-                    for expression in select.group_by
+                    for expression in group_expressions
                 ]
                 for row in rows:
                     key = tuple(_hashable(evaluator(row)) for evaluator in key_evaluators)
@@ -771,14 +960,14 @@ class Executor:
                     context = RowContext(relation=source, row=row, parent=outer)
                     key = tuple(
                         _hashable(self._evaluate(expression, context))
-                        for expression in select.group_by
+                        for expression in group_expressions
                     )
                     groups.setdefault(key, []).append(row)
         else:
             groups[()] = rows
 
         output_rows: list[tuple[SQLValue, ...]] = []
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             having_evaluator = (
                 self._group_evaluator(select.having, source, outer)
                 if select.having is not None
@@ -956,7 +1145,7 @@ class Executor:
         outer: RowContext | None,
         expression_positions: dict[str, int],
     ) -> list[tuple[SQLValue, ...]]:
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             return self._compiled_sort(
                 order_by, output_relation, expression_positions, rows, source, source_rows, outer
             )
@@ -996,7 +1185,7 @@ class Executor:
     ) -> list[tuple[SQLValue, ...]]:
         positions = expression_positions or {}
 
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             return self._compiled_sort(
                 order_by, output_relation, positions, rows, output_relation, rows, outer
             )
@@ -1235,39 +1424,6 @@ def _output_name(item: SelectItem, index: int) -> str:
     if isinstance(expression, FunctionCall):
         return expression.upper_name.lower()
     return f"col_{index}"
-
-
-def _hash_keys_safe(
-    pairs: list[tuple[int, int]],
-    left_rows: list[tuple[SQLValue, ...]],
-    right_rows: list[tuple[SQLValue, ...]],
-) -> bool:
-    """Whether hash-bucket equality agrees with compare_values for these keys.
-
-    compare_values falls back to string comparison across heterogeneous types
-    (``1 = '1'`` is true, ``TRUE = 1`` is false), which Python dict equality
-    cannot reproduce.  Bucketing is only sound when each key column pair holds
-    a single value class — all numbers, all strings, or all booleans — where
-    the two equalities coincide.  NULLs are ignored (they never join).
-    """
-    for left_index, right_index in pairs:
-        classes: set[str] = set()
-        for rows, index in ((left_rows, left_index), (right_rows, right_index)):
-            for row in rows:
-                value = row[index]
-                if value is None:
-                    continue
-                if isinstance(value, bool):
-                    classes.add("bool")
-                elif isinstance(value, (int, float)):
-                    classes.add("number")
-                elif isinstance(value, str):
-                    classes.add("string")
-                else:
-                    return False
-                if len(classes) > 1:
-                    return False
-    return True
 
 
 def _split_conjuncts(expression: Expression) -> list[Expression]:

@@ -1,0 +1,1013 @@
+"""Cost-based source planner: join reordering and predicate pushdown.
+
+Sits between the statement cache and the compiled executor.  For a SELECT
+whose FROM clause is a chain of INNER/CROSS joins over base tables and CTEs,
+the planner builds a :class:`SourcePlan` that
+
+* pushes single-table WHERE (and ON) conjuncts below the joins as compiled
+  scan pre-filters,
+* reorders the join chain greedily — smallest estimated input first, then
+  whichever connected table minimises the estimated intermediate size — using
+  the :class:`~repro.engine.stats.StatsCatalog` cardinalities,
+* keeps results **bit-identical** to the unplanned executor: every surviving
+  row remembers the original scan positions it was built from, and the final
+  rows are sorted back into the source order the textual join order would
+  have produced (hash-join emission order is lexicographic in scan positions,
+  and filters only remove rows, so this reconstruction is exact).
+
+Conjunct classification is deliberately conservative about semantics:
+
+* hash-join *edges* come only from ON-clause column equalities — they use the
+  executor's bucket equality (``hashable_key`` + ``==``), exactly as the
+  unplanned hash join would.  WHERE equalities keep ``compare_values``
+  semantics and are never turned into edges;
+* conjuncts the compiler cannot handle (subqueries, outer references,
+  unknown names) become *post-filters* evaluated on the reassembled relation
+  through the executor's standard evaluator, so correlated predicates and
+  error behaviour match the unplanned path;
+* anything the planner cannot prove equivalent (outer joins, subquery
+  sources, unresolvable ON references, ambiguous names that resolve
+  differently under the reordered prefix) makes the query *unplannable* and
+  the executor silently falls back to the standard compiled path.
+
+Pushdown does change the order in which WHERE conjuncts are *evaluated*; a
+query whose conjuncts raise mid-evaluation may surface a different error
+than the unplanned path (the executor catches engine errors from the planned
+path and falls back, so such queries still complete identically whenever the
+unplanned path completes).
+
+Plans are cached in an LRU keyed by the FROM/WHERE AST node identities plus
+the catalog version, and are re-derived once the database's data version has
+drifted past a staleness threshold, so cost estimates follow DML without
+replanning on every execution.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, ExecutionError
+from repro.engine.compiler import compile_row_expression
+from repro.engine.executor import Executor, _conjoin, _split_conjuncts
+from repro.engine.runtime import hashable_key, is_true
+from repro.engine.stats import TableStats
+from repro.engine.storage import ColumnLabel, Relation
+from repro.sql.analyzer import iter_expressions
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    BinaryOperator,
+    ColumnRef,
+    Exists,
+    Expression,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    JoinType,
+    Like,
+    Literal,
+    Parameter,
+    ScalarSubquery,
+    Select,
+    TableRef,
+)
+
+#: Data-version drift after which a cached plan's costs are re-derived.
+DEFAULT_PLAN_STALENESS = 64
+
+#: Maximum number of cached plans; least recently used entries are evicted.
+_PLAN_LRU_LIMIT = 256
+
+#: Fallback equality selectivity when no distinct count is available.
+_DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: Fallback selectivity for range-style predicates.
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: Fallback join-key divisor when neither side has a distinct count.
+_DEFAULT_KEY_DISTINCT = 10.0
+
+#: Nodes whose presence in a conjunct forces interpreter-grade evaluation.
+_SUBQUERY_NODES = (InSubquery, Exists, ScalarSubquery, Parameter)
+
+
+class _NotPlannable(Exception):
+    """Internal signal: this SELECT must run through the standard path."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class ScanPlan:
+    """One base input of a plan: a table or CTE leaf plus pushed filters."""
+
+    leaf: int                      # position in the textual join order
+    name: str                      # alias the leaf is visible under
+    source: str                    # base table / CTE name to fetch rows from
+    kind: str                      # "table" | "cte"
+    labels: tuple[ColumnLabel, ...]
+    base_rows: int
+    stats: TableStats | None
+    pushed: list[tuple[Expression, object]] = field(default_factory=list)
+    estimated_rows: float = 0.0
+
+
+@dataclass
+class JoinStep:
+    """One hash/nested-loop step of the chosen join order."""
+
+    leaf: int
+    key_pairs: list[tuple[int, int]]          # (accumulated index, scan index)
+    residuals: list[object] = field(default_factory=list)  # compiled predicates
+    estimated_rows: float = 0.0
+
+
+@dataclass
+class SourcePlan:
+    """Executable plan for a SELECT's FROM/WHERE source rows.
+
+    ``execute`` consumes one row list per scan (in textual leaf order) and
+    returns combined rows in the exact order the unplanned executor would
+    produce, with columns back in textual order.
+    """
+
+    scans: list[ScanPlan]                     # textual leaf order
+    order: list[int]                          # chosen join order (leaf indices)
+    steps: list[JoinStep]                     # one per joined leaf after the first
+    post_filter: Expression | None            # evaluated by the executor afterwards
+    labels: list[ColumnLabel]                 # combined labels, textual order
+    identity: bool                            # chosen order == textual order
+    position_rank: list[int]                  # leaf -> position in ``order``
+    slice_ranges: list[tuple[int, int]]       # leaf -> slice of the join-order row
+    estimated_rows: float
+    explain_data: dict
+
+    def execute(self, leaf_rows: list[list[tuple]]) -> list[tuple]:
+        """Run the plan over one row list per scan (textual leaf order).
+
+        Each hash step builds its table from whichever side is *smaller* and
+        probes the other — after a selective pushdown the accumulated side is
+        tiny, so bucketing a big scan would dominate the runtime.  Probing
+        scan-side-out emits rows in scan-major order, which the final
+        position sort puts back; only the all-acc-side identity case can
+        skip that sort.
+        """
+        filtered: list[list[tuple[int, tuple]]] = [None] * len(self.scans)  # type: ignore[list-item]
+        for scan in self.scans:
+            rows = leaf_rows[scan.leaf]
+            if scan.pushed:
+                predicates = [fn for _, fn in scan.pushed]
+                entries = []
+                for position, row in enumerate(rows):
+                    for predicate in predicates:
+                        if not is_true(predicate(row)):
+                            break
+                    else:
+                        entries.append((position, row))
+            else:
+                entries = list(enumerate(rows))
+            filtered[scan.leaf] = entries
+
+        acc: list[tuple[tuple[int, ...], tuple]] = [
+            ((position,), row) for position, row in filtered[self.order[0]]
+        ]
+        needs_sort = not self.identity
+        for step in self.steps:
+            scan_entries = filtered[step.leaf]
+            new_acc: list[tuple[tuple[int, ...], tuple]] = []
+            residuals = step.residuals
+            if step.key_pairs:
+                single = len(step.key_pairs) == 1
+                if single:
+                    acc_index, scan_index = step.key_pairs[0]
+                else:
+                    acc_indices = [pair[0] for pair in step.key_pairs]
+                    scan_indices = [pair[1] for pair in step.key_pairs]
+                if len(scan_entries) <= len(acc):
+                    # Bucket the scan side, probe acc: acc-major emission.
+                    scan_buckets: dict = {}
+                    for position, row in scan_entries:
+                        if single:
+                            key = hashable_key(row[scan_index])
+                            if key is None:
+                                continue
+                        else:
+                            key = tuple(hashable_key(row[index]) for index in scan_indices)
+                            if None in key:
+                                continue
+                        scan_buckets.setdefault(key, []).append((position, row))
+                    empty: list = []
+                    for positions, acc_row in acc:
+                        if single:
+                            key = hashable_key(acc_row[acc_index])
+                            if key is None:
+                                continue
+                        else:
+                            key = tuple(hashable_key(acc_row[index]) for index in acc_indices)
+                            if None in key:
+                                continue
+                        for position, row in scan_buckets.get(key, empty):
+                            combined = acc_row + row
+                            if residuals:
+                                keep = True
+                                for predicate in residuals:
+                                    if not is_true(predicate(combined)):
+                                        keep = False
+                                        break
+                                if not keep:
+                                    continue
+                            new_acc.append((positions + (position,), combined))
+                else:
+                    # Bucket acc, probe the scan side: scan-major emission.
+                    needs_sort = True
+                    acc_buckets: dict = {}
+                    for entry in acc:
+                        acc_row = entry[1]
+                        if single:
+                            key = hashable_key(acc_row[acc_index])
+                            if key is None:
+                                continue
+                        else:
+                            key = tuple(hashable_key(acc_row[index]) for index in acc_indices)
+                            if None in key:
+                                continue
+                        acc_buckets.setdefault(key, []).append(entry)
+                    empty = []
+                    for position, row in scan_entries:
+                        if single:
+                            key = hashable_key(row[scan_index])
+                            if key is None:
+                                continue
+                        else:
+                            key = tuple(hashable_key(row[index]) for index in scan_indices)
+                            if None in key:
+                                continue
+                        for positions, acc_row in acc_buckets.get(key, empty):
+                            combined = acc_row + row
+                            if residuals:
+                                keep = True
+                                for predicate in residuals:
+                                    if not is_true(predicate(combined)):
+                                        keep = False
+                                        break
+                                if not keep:
+                                    continue
+                            new_acc.append((positions + (position,), combined))
+            else:
+                for positions, acc_row in acc:
+                    for position, row in scan_entries:
+                        combined = acc_row + row
+                        if residuals:
+                            keep = True
+                            for predicate in residuals:
+                                if not is_true(predicate(combined)):
+                                    keep = False
+                                    break
+                            if not keep:
+                                continue
+                        new_acc.append((positions + (position,), combined))
+            acc = new_acc
+
+        if not needs_sort:
+            return [row for _, row in acc]
+        rank = self.position_rank
+        acc.sort(key=lambda entry: tuple(entry[0][rank[leaf]] for leaf in range(len(rank))))
+        if self.identity:
+            return [row for _, row in acc]
+        ranges = self.slice_ranges
+        rows_out: list[tuple] = []
+        for _, row in acc:
+            rebuilt: list = []
+            for start, end in ranges:
+                rebuilt.extend(row[start:end])
+            rows_out.append(tuple(rebuilt))
+        return rows_out
+
+
+@dataclass
+class _CacheEntry:
+    from_anchor: object
+    where_anchor: object
+    catalog_version: int
+    data_version: int
+    plan: SourcePlan | None
+    reason: str | None
+
+
+class QueryPlanner:
+    """Builds and caches :class:`SourcePlan` objects for one database."""
+
+    def __init__(
+        self, database: "Database", staleness_threshold: int = DEFAULT_PLAN_STALENESS  # noqa: F821
+    ) -> None:
+        self._database = database
+        self.staleness_threshold = staleness_threshold
+        self._cache: "OrderedDict[tuple[int, int], _CacheEntry]" = OrderedDict()
+        self.plans_built = 0
+        self.cache_hits = 0
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self._cache.clear()
+
+    def plan_for(self, select: Select, cte_scope: dict[str, Relation]) -> SourcePlan | None:
+        """Cached plan for a SELECT's source, or None when unplannable."""
+        return self._lookup(select, cte_scope).plan
+
+    def explain(self, select: Select, cte_scope: dict[str, Relation]) -> dict:
+        """Explain dict for a SELECT's source (includes the unplannable reason)."""
+        entry = self._lookup(select, cte_scope)
+        if entry.plan is None:
+            return {"planned": False, "reason": entry.reason or "not plannable"}
+        return dict(entry.plan.explain_data)
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+
+    def _lookup(self, select: Select, cte_scope: dict[str, Relation]) -> _CacheEntry:
+        database = self._database
+        key = (id(select.from_relation), id(select.where))
+        entry = self._cache.get(key)
+        if (
+            entry is not None
+            and entry.from_anchor is select.from_relation
+            and entry.where_anchor is select.where
+            and entry.catalog_version == database.catalog_version
+        ):
+            # Unplannable verdicts depend only on the AST and catalog shape,
+            # so they never go stale under DML; plans re-derive their costs
+            # once the data version has drifted past the threshold.
+            if entry.plan is None or (
+                database.data_version - entry.data_version < self.staleness_threshold
+            ):
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return entry
+        try:
+            plan = self._build(select, cte_scope)
+            reason = None
+        except _NotPlannable as blocked:
+            plan = None
+            reason = blocked.reason
+        self.plans_built += 1
+        entry = _CacheEntry(
+            from_anchor=select.from_relation,
+            where_anchor=select.where,
+            catalog_version=database.catalog_version,
+            data_version=database.data_version,
+            plan=plan,
+            reason=reason,
+        )
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > _PLAN_LRU_LIMIT:
+            self._cache.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+
+    def _build(self, select: Select, cte_scope: dict[str, Relation]) -> SourcePlan:
+        if select.from_relation is None:
+            raise _NotPlannable("no FROM clause")
+        if not isinstance(select.from_relation, Join):
+            raise _NotPlannable("single-relation FROM clause")
+
+        leaves: list[dict] = []
+        edges: list[dict] = []
+        pushed_raw: list[tuple[Expression, int]] = []      # (conjunct, leaf)
+        residual_raw: list[tuple[Expression, dict]] = []   # (conjunct, {id(ref): (leaf, col)})
+        post_conjuncts: list[Expression] = []
+
+        self._walk_from(select.from_relation, cte_scope, leaves, edges, pushed_raw, residual_raw)
+        if len(leaves) < 2:
+            raise _NotPlannable("single-relation FROM clause")
+
+        full_labels = [label for leaf in leaves for label in leaf["labels"]]
+        full_origin = [
+            (index, offset)
+            for index, leaf in enumerate(leaves)
+            for offset in range(len(leaf["labels"]))
+        ]
+        full_relation = Relation(labels=full_labels)
+
+        if select.where is not None:
+            for conjunct in _split_conjuncts(select.where):
+                self._classify_where(
+                    conjunct, full_relation, full_origin, pushed_raw, residual_raw, post_conjuncts
+                )
+
+        # Compile the pushed filters against their leaf; anything the compiler
+        # rejects keeps interpreter-grade semantics as a post-filter.
+        for conjunct, leaf_index in pushed_raw:
+            leaf = leaves[leaf_index]
+            compiled = compile_row_expression(conjunct, Relation(labels=list(leaf["labels"])))
+            if compiled is None:
+                post_conjuncts.append(conjunct)
+            else:
+                leaf["pushed"].append((conjunct, compiled))
+
+        scans = [
+            ScanPlan(
+                leaf=index,
+                name=leaf["name"],
+                source=leaf["source"],
+                kind=leaf["kind"],
+                labels=tuple(leaf["labels"]),
+                base_rows=leaf["base_rows"],
+                stats=leaf["stats"],
+                pushed=leaf["pushed"],
+            )
+            for index, leaf in enumerate(leaves)
+        ]
+        for scan in scans:
+            selectivity = 1.0
+            for conjunct, _ in scan.pushed:
+                selectivity *= _selectivity(conjunct, scan.stats)
+            scan.estimated_rows = scan.base_rows * selectivity
+
+        order, step_estimates = self._greedy_order(scans, edges)
+
+        plan = self._assemble(
+            select, leaves, scans, edges, residual_raw, post_conjuncts,
+            full_relation, full_origin, order, step_estimates,
+        )
+        return plan
+
+    # -- FROM-tree walk -------------------------------------------------
+
+    def _walk_from(
+        self,
+        node,
+        cte_scope: dict[str, Relation],
+        leaves: list[dict],
+        edges: list[dict],
+        pushed_raw: list[tuple[Expression, int]],
+        residual_raw: list[tuple[Expression, dict]],
+    ) -> list[int]:
+        """Collect leaves and ON conjuncts; returns the subtree's leaf indices."""
+        if isinstance(node, TableRef):
+            leaves.append(self._leaf_info(node, cte_scope))
+            return [len(leaves) - 1]
+        if not isinstance(node, Join):
+            raise _NotPlannable(f"unsupported FROM node {type(node).__name__}")
+        if node.join_type not in (JoinType.INNER, JoinType.CROSS):
+            raise _NotPlannable(f"{node.join_type.value} join")
+        left_scope = self._walk_from(
+            node.left, cte_scope, leaves, edges, pushed_raw, residual_raw
+        )
+        right_scope = self._walk_from(
+            node.right, cte_scope, leaves, edges, pushed_raw, residual_raw
+        )
+        scope = left_scope + right_scope
+
+        condition = node.condition
+        if node.using_columns and condition is None:
+            left_relation = Relation(
+                labels=[label for index in left_scope for label in leaves[index]["labels"]]
+            )
+            right_relation = Relation(
+                labels=[label for index in right_scope for label in leaves[index]["labels"]]
+            )
+            try:
+                condition = Executor._build_using_condition(
+                    node.using_columns, left_relation, right_relation
+                )
+            except ExecutionError as exc:
+                raise _NotPlannable(str(exc)) from exc
+        if condition is None:
+            return scope
+
+        scoped_labels = [label for index in scope for label in leaves[index]["labels"]]
+        scoped_origin = [
+            (index, offset)
+            for index in scope
+            for offset in range(len(leaves[index]["labels"]))
+        ]
+        scoped_relation = Relation(labels=scoped_labels)
+        conjuncts = _split_conjuncts(condition)
+
+        if len(conjuncts) == 1:
+            # Mirror the single-equality fast path's left/right-preferring
+            # resolution so ambiguous names bind exactly as the unplanned
+            # hash join binds them.
+            pair = self._equi_pair(conjuncts[0], leaves, left_scope, right_scope)
+            if pair is not None:
+                edges.append(pair)
+                return scope
+
+        for conjunct in conjuncts:
+            if len(conjuncts) > 1:
+                pair = self._spanning_pair(
+                    conjunct, scoped_relation, scoped_origin, left_scope, right_scope
+                )
+                if pair is not None:
+                    edges.append(pair)
+                    continue
+            self._classify_on(
+                conjunct, scoped_relation, scoped_origin, pushed_raw, residual_raw, scope
+            )
+        return scope
+
+    def _leaf_info(self, node: TableRef, cte_scope: dict[str, Relation]) -> dict:
+        key = node.name.lower()
+        if key in cte_scope:
+            relation = cte_scope[key]
+            labels = tuple(
+                ColumnLabel(name=label.name, relation=node.effective_name)
+                for label in relation.labels
+            )
+            return {
+                "name": node.effective_name,
+                "source": node.name,
+                "kind": "cte",
+                "labels": labels,
+                "base_rows": len(relation.rows),
+                "stats": None,
+                "pushed": [],
+            }
+        try:
+            table = self._database.table(node.name)
+        except CatalogError as exc:
+            # Fall back so the standard path raises the canonical error.
+            raise _NotPlannable(str(exc)) from exc
+        labels = tuple(
+            ColumnLabel(name=column.name, relation=node.effective_name)
+            for column in table.columns
+        )
+        try:
+            stats = self._database.stats.table_stats(node.name)
+        except CatalogError:  # pragma: no cover - table just resolved
+            stats = None
+        return {
+            "name": node.effective_name,
+            "source": node.name,
+            "kind": "table",
+            "labels": labels,
+            "base_rows": len(table.rows),
+            "stats": stats,
+            "pushed": [],
+        }
+
+    # -- conjunct classification ---------------------------------------
+
+    def _equi_pair(
+        self,
+        conjunct: Expression,
+        leaves: list[dict],
+        left_scope: list[int],
+        right_scope: list[int],
+    ) -> dict | None:
+        """Single-conjunct ON equality, resolved left/right like the executor."""
+        if (
+            not isinstance(conjunct, BinaryOp)
+            or conjunct.op is not BinaryOperator.EQ
+            or not isinstance(conjunct.left, ColumnRef)
+            or not isinstance(conjunct.right, ColumnRef)
+        ):
+            return None
+        left_relation = Relation(
+            labels=[label for index in left_scope for label in leaves[index]["labels"]]
+        )
+        right_relation = Relation(
+            labels=[label for index in right_scope for label in leaves[index]["labels"]]
+        )
+        left_origin = [
+            (index, offset)
+            for index in left_scope
+            for offset in range(len(leaves[index]["labels"]))
+        ]
+        right_origin = [
+            (index, offset)
+            for index in right_scope
+            for offset in range(len(leaves[index]["labels"]))
+        ]
+        for first, second in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            try:
+                left_position = left_relation.column_index(first.name, first.table)
+                right_position = right_relation.column_index(second.name, second.table)
+            except ExecutionError:
+                continue
+            return {
+                "a": left_origin[left_position],
+                "b": right_origin[right_position],
+                "expression": conjunct,
+            }
+        return None
+
+    def _spanning_pair(
+        self,
+        conjunct: Expression,
+        scoped_relation: Relation,
+        scoped_origin: list[tuple[int, int]],
+        left_scope: list[int],
+        right_scope: list[int],
+    ) -> dict | None:
+        """Multi-conjunct ON equality spanning the join's two sides."""
+        if (
+            not isinstance(conjunct, BinaryOp)
+            or conjunct.op is not BinaryOperator.EQ
+            or not isinstance(conjunct.left, ColumnRef)
+            or not isinstance(conjunct.right, ColumnRef)
+        ):
+            return None
+        try:
+            first = scoped_relation.column_index(conjunct.left.name, conjunct.left.table)
+            second = scoped_relation.column_index(conjunct.right.name, conjunct.right.table)
+        except ExecutionError:
+            return None
+        origin_a = scoped_origin[first]
+        origin_b = scoped_origin[second]
+        left_set = set(left_scope)
+        if origin_a[0] in left_set and origin_b[0] not in left_set:
+            return {"a": origin_a, "b": origin_b, "expression": conjunct}
+        if origin_b[0] in left_set and origin_a[0] not in left_set:
+            return {"a": origin_b, "b": origin_a, "expression": conjunct}
+        return None
+
+    def _classify_on(
+        self,
+        conjunct: Expression,
+        scoped_relation: Relation,
+        scoped_origin: list[tuple[int, int]],
+        pushed_raw: list[tuple[Expression, int]],
+        residual_raw: list[tuple[Expression, dict]],
+        scope: list[int],
+    ) -> None:
+        """Classify a non-edge ON conjunct as pushed or residual.
+
+        ON conjuncts must resolve entirely inside their join scope: a
+        reference that only an outer context (or a later join input) could
+        satisfy makes the query unplannable, because a reordered evaluation
+        could change which binding wins.
+        """
+        if _contains_subquery(conjunct):
+            raise _NotPlannable("subquery inside a join condition")
+        resolution: dict[int, tuple[int, int]] = {}
+        ref_leaves: set[int] = set()
+        for expression in iter_expressions(conjunct):
+            if not isinstance(expression, ColumnRef):
+                continue
+            try:
+                position = scoped_relation.column_index(expression.name, expression.table)
+            except ExecutionError as exc:
+                raise _NotPlannable(str(exc)) from exc
+            origin = scoped_origin[position]
+            resolution[id(expression)] = origin
+            ref_leaves.add(origin[0])
+        if len(ref_leaves) <= 1:
+            target = next(iter(ref_leaves)) if ref_leaves else scope[0]
+            pushed_raw.append((conjunct, target))
+        else:
+            residual_raw.append((conjunct, resolution))
+
+    def _classify_where(
+        self,
+        conjunct: Expression,
+        full_relation: Relation,
+        full_origin: list[tuple[int, int]],
+        pushed_raw: list[tuple[Expression, int]],
+        residual_raw: list[tuple[Expression, dict]],
+        post_conjuncts: list[Expression],
+    ) -> None:
+        """Classify a WHERE conjunct as pushed, residual, or post-filter.
+
+        Unlike ON conjuncts, an unresolvable WHERE reference is *not* fatal:
+        the original scope for WHERE is the full combined relation, so
+        deferring the conjunct to a post-filter (standard evaluator, outer
+        context included) is exactly the unplanned behaviour.
+        """
+        if _contains_subquery(conjunct):
+            post_conjuncts.append(conjunct)
+            return
+        resolution: dict[int, tuple[int, int]] = {}
+        ref_leaves: set[int] = set()
+        for expression in iter_expressions(conjunct):
+            if not isinstance(expression, ColumnRef):
+                continue
+            try:
+                position = full_relation.column_index(expression.name, expression.table)
+            except ExecutionError:
+                post_conjuncts.append(conjunct)
+                return
+            origin = full_origin[position]
+            resolution[id(expression)] = origin
+            ref_leaves.add(origin[0])
+        if len(ref_leaves) <= 1:
+            target = next(iter(ref_leaves)) if ref_leaves else 0
+            pushed_raw.append((conjunct, target))
+        else:
+            residual_raw.append((conjunct, resolution))
+
+    # -- ordering and assembly -----------------------------------------
+
+    def _greedy_order(
+        self, scans: list[ScanPlan], edges: list[dict]
+    ) -> tuple[list[int], list[float]]:
+        """Smallest scan first, then the connected leaf minimising the step."""
+        count = len(scans)
+        remaining = set(range(count))
+        start = min(remaining, key=lambda index: (scans[index].estimated_rows, index))
+        order = [start]
+        remaining.discard(start)
+        placed = {start}
+        accumulated = scans[start].estimated_rows
+        step_estimates: list[float] = []
+        while remaining:
+            connected = [
+                index
+                for index in sorted(remaining)
+                if any(
+                    (edge["a"][0] in placed and edge["b"][0] == index)
+                    or (edge["b"][0] in placed and edge["a"][0] == index)
+                    for edge in edges
+                )
+            ]
+            candidates = connected or sorted(remaining)
+            best_index = None
+            best_estimate = 0.0
+            for index in candidates:
+                estimate = _step_estimate(accumulated, scans[index], edges, placed, index, scans)
+                if best_index is None or estimate < best_estimate:
+                    best_index = index
+                    best_estimate = estimate
+            order.append(best_index)
+            remaining.discard(best_index)
+            placed.add(best_index)
+            accumulated = best_estimate
+            step_estimates.append(best_estimate)
+        return order, step_estimates
+
+    def _assemble(
+        self,
+        select: Select,
+        leaves: list[dict],
+        scans: list[ScanPlan],
+        edges: list[dict],
+        residual_raw: list[tuple[Expression, dict]],
+        post_conjuncts: list[Expression],
+        full_relation: Relation,
+        full_origin: list[tuple[int, int]],
+        order: list[int],
+        step_estimates: list[float],
+    ) -> SourcePlan:
+        count = len(scans)
+        position_rank = [0] * count
+        for rank, leaf in enumerate(order):
+            position_rank[leaf] = rank
+
+        widths = [len(leaf["labels"]) for leaf in leaves]
+        join_offsets = [0] * count
+        running = 0
+        for leaf in order:
+            join_offsets[leaf] = running
+            running += widths[leaf]
+        slice_ranges = [
+            (join_offsets[leaf], join_offsets[leaf] + widths[leaf]) for leaf in range(count)
+        ]
+        identity = order == list(range(count))
+
+        # Join-order label prefixes, for compiling step residuals.
+        order_labels: list[ColumnLabel] = []
+        order_origin: list[tuple[int, int]] = []
+        prefix_labels: dict[int, int] = {}
+        for rank, leaf in enumerate(order):
+            order_labels.extend(leaves[leaf]["labels"])
+            order_origin.extend(
+                (leaf, offset) for offset in range(len(leaves[leaf]["labels"]))
+            )
+            prefix_labels[rank] = len(order_labels)
+
+        steps = [
+            JoinStep(leaf=leaf, key_pairs=[], estimated_rows=step_estimates[rank - 1])
+            for rank, leaf in enumerate(order)
+            if rank > 0
+        ]
+        for edge in edges:
+            rank = max(position_rank[edge["a"][0]], position_rank[edge["b"][0]])
+            step = steps[rank - 1]
+            if position_rank[edge["a"][0]] == rank:
+                late, early = edge["a"], edge["b"]
+            else:
+                late, early = edge["b"], edge["a"]
+            acc_index = join_offsets[early[0]] + early[1]
+            step.key_pairs.append((acc_index, late[1]))
+
+        explain_steps_residuals: dict[int, list[str]] = {}
+        for conjunct, resolution in residual_raw:
+            rank = max(position_rank[origin[0]] for origin in resolution.values())
+            prefix = Relation(labels=order_labels[: prefix_labels[rank]])
+            agreed = True
+            for expression in iter_expressions(conjunct):
+                if not isinstance(expression, ColumnRef):
+                    continue
+                try:
+                    position = prefix.column_index(expression.name, expression.table)
+                except ExecutionError:
+                    agreed = False
+                    break
+                if order_origin[position] != resolution[id(expression)]:
+                    agreed = False
+                    break
+            compiled = (
+                compile_row_expression(conjunct, prefix) if agreed else None
+            )
+            if compiled is None:
+                # Demoting to a post-filter is only sound when the full
+                # combined relation resolves every reference to the same
+                # column the join-scoped resolution chose.
+                for expression in iter_expressions(conjunct):
+                    if not isinstance(expression, ColumnRef):
+                        continue
+                    try:
+                        position = full_relation.column_index(
+                            expression.name, expression.table
+                        )
+                    except ExecutionError as exc:
+                        raise _NotPlannable(str(exc)) from exc
+                    if full_origin[position] != resolution[id(expression)]:
+                        raise _NotPlannable(
+                            f"ambiguous reference {expression.name!r} under reordering"
+                        )
+                post_conjuncts.append(conjunct)
+            else:
+                steps[rank - 1].residuals.append(compiled)
+                explain_steps_residuals.setdefault(rank - 1, []).append(
+                    _printed(conjunct)
+                )
+
+        estimated_rows = step_estimates[-1] if step_estimates else scans[order[0]].estimated_rows
+        explain_data = {
+            "planned": True,
+            "reordered": not identity,
+            "estimated_rows": estimated_rows,
+            "leaves": [
+                {
+                    "name": scan.name,
+                    "source": scan.source,
+                    "kind": scan.kind,
+                    "base_rows": scan.base_rows,
+                    "estimated_rows": scan.estimated_rows,
+                    "pushed_filters": [_printed(conjunct) for conjunct, _ in scan.pushed],
+                }
+                for scan in scans
+            ],
+            "join_order": [scans[leaf].name for leaf in order],
+            "steps": [
+                {
+                    "relation": scans[step.leaf].name,
+                    "keys": [
+                        _printed(edge["expression"])
+                        for edge in edges
+                        if max(position_rank[edge["a"][0]], position_rank[edge["b"][0]])
+                        == position_rank[step.leaf]
+                    ],
+                    "residual": explain_steps_residuals.get(index, []),
+                    "estimated_rows": step.estimated_rows,
+                }
+                for index, step in enumerate(steps)
+            ],
+            "post_filters": [_printed(conjunct) for conjunct in post_conjuncts],
+        }
+
+        return SourcePlan(
+            scans=scans,
+            order=order,
+            steps=steps,
+            post_filter=_conjoin(post_conjuncts),
+            labels=list(full_relation.labels),
+            identity=identity,
+            position_rank=position_rank,
+            slice_ranges=slice_ranges,
+            estimated_rows=estimated_rows,
+            explain_data=explain_data,
+        )
+
+
+# ---------------------------------------------------------------------------
+# estimation helpers
+# ---------------------------------------------------------------------------
+
+
+def _contains_subquery(conjunct: Expression) -> bool:
+    return any(
+        isinstance(expression, _SUBQUERY_NODES) for expression in iter_expressions(conjunct)
+    )
+
+
+def _printed(expression: Expression) -> str:
+    from repro.sql.printer import print_expression
+
+    try:
+        return print_expression(expression)
+    except Exception:  # pragma: no cover - printer handles every planned node
+        return repr(expression)
+
+
+def _column_distinct(scan: ScanPlan, column_index: int) -> int | None:
+    if scan.stats is None:
+        return None
+    label = scan.labels[column_index]
+    column = scan.stats.column(label.name)
+    return column.distinct if column is not None else None
+
+
+def _step_estimate(
+    accumulated: float,
+    scan: ScanPlan,
+    edges: list[dict],
+    placed: set[int],
+    candidate: int,
+    scans: list[ScanPlan],
+) -> float:
+    """Estimated rows after joining ``candidate`` onto the placed set."""
+    estimate = accumulated * scan.estimated_rows
+    first_edge = True
+    for edge in edges:
+        endpoints = {edge["a"][0], edge["b"][0]}
+        if candidate not in endpoints:
+            continue
+        other = (endpoints - {candidate}).pop() if len(endpoints) > 1 else candidate
+        if other not in placed:
+            continue
+        if first_edge:
+            divisor = _DEFAULT_KEY_DISTINCT
+            for origin in (edge["a"], edge["b"]):
+                distinct = _column_distinct(scans[origin[0]], origin[1])
+                if distinct:
+                    divisor = max(float(distinct), 1.0)
+                    break
+            estimate /= divisor
+            first_edge = False
+        else:
+            # Additional equality keys tighten the match further.
+            estimate *= 0.2
+    return estimate
+
+
+def _selectivity(conjunct: Expression, stats: TableStats | None) -> float:
+    """Heuristic fraction of rows a pushed-down predicate keeps."""
+
+    def distinct_of(expression: Expression) -> int | None:
+        if stats is None or not isinstance(expression, ColumnRef):
+            return None
+        column = stats.column(expression.name)
+        return column.distinct if column is not None else None
+
+    if isinstance(conjunct, BinaryOp):
+        op = conjunct.op
+        if op is BinaryOperator.EQ:
+            for side, other in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if isinstance(side, ColumnRef) and isinstance(other, Literal):
+                    distinct = distinct_of(side)
+                    if distinct:
+                        return 1.0 / distinct
+            return _DEFAULT_EQ_SELECTIVITY
+        if op is BinaryOperator.NEQ:
+            return 1.0 - _DEFAULT_EQ_SELECTIVITY
+        if op in (
+            BinaryOperator.LT,
+            BinaryOperator.LTE,
+            BinaryOperator.GT,
+            BinaryOperator.GTE,
+        ):
+            return _DEFAULT_RANGE_SELECTIVITY
+        if op is BinaryOperator.OR:
+            return min(
+                1.0,
+                _selectivity(conjunct.left, stats) + _selectivity(conjunct.right, stats),
+            )
+        if op is BinaryOperator.AND:
+            return _selectivity(conjunct.left, stats) * _selectivity(conjunct.right, stats)
+        return _DEFAULT_RANGE_SELECTIVITY
+    if isinstance(conjunct, Between):
+        return 0.75 if conjunct.negated else 0.25
+    if isinstance(conjunct, InList):
+        distinct = distinct_of(conjunct.operand)
+        if distinct:
+            selectivity = min(1.0, len(conjunct.values) / distinct)
+        else:
+            selectivity = min(1.0, len(conjunct.values) * _DEFAULT_EQ_SELECTIVITY)
+        return 1.0 - selectivity if conjunct.negated else selectivity
+    if isinstance(conjunct, IsNull):
+        fraction = 0.1
+        if stats is not None and isinstance(conjunct.operand, ColumnRef):
+            column = stats.column(conjunct.operand.name)
+            if column is not None:
+                fraction = column.null_fraction
+        return 1.0 - fraction if conjunct.negated else fraction
+    if isinstance(conjunct, Like):
+        return 0.75 if conjunct.negated else 0.25
+    return _DEFAULT_RANGE_SELECTIVITY

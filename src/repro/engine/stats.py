@@ -1,0 +1,124 @@
+"""Cheap per-table statistics for the query planner.
+
+The planner needs three things to order joins and price predicates: how many
+rows a table has, how selective an equality on a column is (approximated by
+the column's distinct count), and how often a column is NULL.  This module
+maintains exactly that — nothing histogram-shaped — because the engine's
+workloads are small enough that a full-column pass is cheap and the planner
+only needs *relative* cardinalities to pick a join order.
+
+Statistics are maintained incrementally off the engine's version counters:
+every :class:`~repro.engine.storage.StoredTable` bumps its own ``version`` on
+each row mutation, and :class:`StatsCatalog` recomputes a table's profile
+lazily the next time it is asked about a table whose version moved.  Tables
+that never change are profiled exactly once no matter how much DML happens
+elsewhere, and read-only workloads never profile twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.runtime import hashable_key
+from repro.engine.storage import StoredTable
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Profile of one column: distinct non-NULL values and NULL fraction."""
+
+    name: str
+    distinct: int
+    null_count: int
+    row_count: int
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of rows where the column is NULL."""
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+
+@dataclass
+class TableStats:
+    """Profile of one table at a specific table version."""
+
+    table: str
+    row_count: int
+    version: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        """Stats for a column by case-insensitive name, if profiled."""
+        return self.columns.get(name.lower())
+
+
+def profile_table(table: StoredTable) -> TableStats:
+    """Profile every column of a table in one pass over its rows.
+
+    Distinct counts use the same :func:`hashable_key` normalisation as the
+    hash-join buckets, so an equality selectivity of ``1/distinct`` prices
+    exactly the matching semantics the executor will apply.
+    """
+    row_count = len(table.rows)
+    distinct_sets: list[set] = [set() for _ in table.columns]
+    null_counts = [0] * len(table.columns)
+    for row in table.rows:
+        for index, value in enumerate(row):
+            if value is None:
+                null_counts[index] += 1
+            else:
+                distinct_sets[index].add(hashable_key(value))
+    columns = {
+        column.name.lower(): ColumnStats(
+            name=column.name,
+            distinct=len(distinct_sets[index]),
+            null_count=null_counts[index],
+            row_count=row_count,
+        )
+        for index, column in enumerate(table.columns)
+    }
+    return TableStats(
+        table=table.name, row_count=row_count, version=table.version, columns=columns
+    )
+
+
+class StatsCatalog:
+    """Lazily-maintained statistics for every table of one database.
+
+    ``table_stats`` returns a cached profile as long as the table's own
+    version counter has not moved; dropped tables fall out of the cache via
+    the catalog version.  ``profiles_computed`` counts actual profiling
+    passes, which tests use to assert incrementality.
+    """
+
+    def __init__(self, database: "Database") -> None:  # noqa: F821
+        self._database = database
+        self._profiles: dict[str, TableStats] = {}
+        self._catalog_version = database.catalog_version
+        self.profiles_computed = 0
+
+    def table_stats(self, name: str) -> TableStats:
+        """Current statistics for a table, recomputing only when it mutated.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        if self._catalog_version != self._database.catalog_version:
+            # CREATE/DROP may have removed — or recreated under a reused name,
+            # resetting the version counter — any table; start fresh.
+            self._profiles.clear()
+            self._catalog_version = self._database.catalog_version
+        table = self._database.table(name)
+        key = table.name.lower()
+        cached = self._profiles.get(key)
+        if cached is not None and cached.version == table.version:
+            return cached
+        profile = profile_table(table)
+        self.profiles_computed += 1
+        self._profiles[key] = profile
+        return profile
+
+    def __len__(self) -> int:
+        return len(self._profiles)

@@ -96,10 +96,14 @@ class StoredTable:
         self.columns = columns
         self.rows: list[tuple[SQLValue, ...]] = []
         self._index_by_name = {column.name.lower(): i for i, column in enumerate(columns)}
-        #: Invoked after every successful row insert; the owning Database sets
+        #: Invoked after every successful row mutation; the owning Database sets
         #: this to its data-version bump so caches invalidate even when rows
         #: are inserted directly on the table (as the workload generator does).
         self.on_mutation = None
+        #: Bumped on every row mutation of *this* table.  The stats catalog
+        #: compares it against the version its per-table statistics were
+        #: computed at, so only mutated tables are ever re-profiled.
+        self.version = 0
 
     @property
     def column_names(self) -> list[str]:
@@ -146,13 +150,37 @@ class StoredTable:
                 )
             coerced.append(coerce_value(value, column.data_type))
         self.rows.append(tuple(coerced))
-        if self.on_mutation is not None:
-            self.on_mutation()
+        self._mark_mutation()
 
     def insert_rows(self, rows: list[dict[str, SQLValue]] | list[tuple[SQLValue, ...]]) -> None:
         """Insert many rows."""
         for row in rows:
             self.insert_row(row)
+
+    def delete_rows(self, predicate=None) -> int:
+        """Delete rows matching ``predicate`` (all rows when ``None``).
+
+        ``predicate`` receives each row tuple and returns whether to delete it.
+        Returns the number of rows removed; mutation hooks fire only when at
+        least one row was actually removed.
+        """
+        if predicate is None:
+            removed = len(self.rows)
+            if removed:
+                self.rows = []
+                self._mark_mutation()
+            return removed
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        if removed:
+            self.rows = kept
+            self._mark_mutation()
+        return removed
+
+    def _mark_mutation(self) -> None:
+        self.version += 1
+        if self.on_mutation is not None:
+            self.on_mutation()
 
     def to_relation(self, alias: str | None = None) -> Relation:
         """View the stored table as an executor relation."""

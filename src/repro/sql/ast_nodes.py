@@ -5,7 +5,7 @@ queries BenchPress annotates: SELECT with joins, nested subqueries (in FROM,
 WHERE and the select list), CTEs (``WITH``), set operations, aggregation with
 GROUP BY / HAVING, ORDER BY / LIMIT, CASE expressions, CAST, IN/EXISTS/BETWEEN
 /LIKE predicates, plus the DDL/DML needed by the execution engine
-(CREATE TABLE, INSERT).
+(CREATE TABLE, INSERT, DELETE, DROP TABLE).
 
 Every node is an immutable-ish dataclass; tree walks are implemented by the
 analyzer, printer, decomposer and executor rather than by methods on the nodes
@@ -362,4 +362,20 @@ class Insert:
     rows: list[list[Expression]] = field(default_factory=list)
 
 
-Statement = Union[Select, CreateTable, Insert]
+@dataclass
+class Delete:
+    """``DELETE FROM`` statement with an optional WHERE filter."""
+
+    table: str
+    where: Expression | None = None
+
+
+@dataclass
+class DropTable:
+    """``DROP TABLE [IF EXISTS]`` statement."""
+
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[Select, CreateTable, Insert, Delete, DropTable]

@@ -26,6 +26,8 @@ from repro.sql.ast_nodes import (
     ColumnRef,
     CreateTable,
     CTE,
+    Delete,
+    DropTable,
     Exists,
     Expression,
     FunctionCall,
@@ -127,7 +129,7 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_statement(self) -> Statement:
-        """Parse one statement (SELECT/WITH/CREATE TABLE/INSERT)."""
+        """Parse one statement (SELECT/WITH/CREATE TABLE/INSERT/DELETE/DROP)."""
         token = self._peek()
         if token.is_keyword("SELECT", "WITH"):
             return self.parse_select()
@@ -135,6 +137,10 @@ class Parser:
             return self._parse_create_table()
         if token.is_keyword("INSERT"):
             return self._parse_insert()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("DROP"):
+            return self._parse_drop_table()
         if token.is_punctuation("("):
             return self.parse_select()
         raise ParseError(f"unexpected start of statement: {token.value!r}", token.position, token.value)
@@ -802,6 +808,23 @@ class Parser:
         while self._match_punctuation(","):
             rows.append(self._parse_value_row())
         return Insert(table=table, columns=columns, rows=rows)
+
+    def _parse_delete(self) -> Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._parse_qualified_name()
+        where = self.parse_expression() if self._match_keyword("WHERE") else None
+        return Delete(table=table, where=where)
+
+    def _parse_drop_table(self) -> DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._parse_qualified_name()
+        return DropTable(name=name, if_exists=if_exists)
 
     def _parse_value_row(self) -> list[Expression]:
         self._expect_punctuation("(")

@@ -1,6 +1,12 @@
 """Synthetic benchmark workloads (Spider/Bird/Fiben/Beaver stand-ins)."""
 
-from repro.workloads.base import QueryShapeSpec, Workload, WorkloadQuery, WorkloadSpec
+from repro.workloads.base import (
+    QueryShapeSpec,
+    Workload,
+    WorkloadQuery,
+    WorkloadSpec,
+    workload_fingerprint,
+)
 from repro.workloads.benchmarks import (
     BENCHMARK_NAMES,
     DEFAULT_ROW_SCALE,
@@ -28,4 +34,5 @@ __all__ = [
     "build_workload",
     "fiben_spec",
     "spider_spec",
+    "workload_fingerprint",
 ]

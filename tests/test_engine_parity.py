@@ -1,10 +1,10 @@
-"""Compiled/interpreted parity suite.
+"""Compiled/interpreted/planned parity suite.
 
 Runs every query the workload generator produces — plus a battery of join
-edge cases — through both executor modes and asserts *bit-identical*
+edge cases — through all three executor modes and asserts *bit-identical*
 results: same columns, same rows in the same order, same Python value types
-cell-for-cell.  This is the contract the compiled hot path must uphold: it
-may only be faster, never different.
+cell-for-cell.  This is the contract the compiled and planned hot paths must
+uphold: they may only be faster than the interpreter, never different.
 """
 
 from __future__ import annotations
@@ -14,45 +14,59 @@ import pytest
 from repro.engine import Database
 from repro.errors import ExecutionError, ReproError
 
+#: The interpreter is the semantic reference; the other two must match it.
+PARITY_MODES = ("interpreted", "compiled", "planned")
 
-def run_both_modes(database: Database, sql: str):
-    """Execute ``sql`` in compiled then interpreted mode on one database.
 
-    Returns ``(compiled, interpreted)`` where each element is either a
+def run_all_modes(database: Database, sql: str) -> dict:
+    """Execute ``sql`` in every executor mode on one database.
+
+    Returns a mode -> outcome dict where each outcome is either a
     QueryResult or the raised engine error.
     """
-    outcomes = []
+    outcomes = {}
     original_mode = database.executor_mode
     try:
-        for mode in ("compiled", "interpreted"):
+        for mode in PARITY_MODES:
             database.executor_mode = mode
             try:
-                outcomes.append(database.execute(sql))
+                outcomes[mode] = database.execute(sql)
             except ReproError as exc:
-                outcomes.append(exc)
+                outcomes[mode] = exc
     finally:
         database.executor_mode = original_mode
-    return outcomes[0], outcomes[1]
+    return outcomes
+
+
+def run_both_modes(database: Database, sql: str):
+    """Back-compat helper: ``(compiled, interpreted)`` outcomes."""
+    outcomes = run_all_modes(database, sql)
+    return outcomes["compiled"], outcomes["interpreted"]
 
 
 def assert_parity(database: Database, sql: str) -> None:
-    """Assert both modes produce bit-identical results (or both fail)."""
-    compiled, interpreted = run_both_modes(database, sql)
-    if isinstance(interpreted, Exception):
-        assert isinstance(compiled, Exception), (
-            f"interpreted raised {interpreted!r} but compiled succeeded for: {sql}"
+    """Assert every mode produces bit-identical results (or every mode fails)."""
+    outcomes = run_all_modes(database, sql)
+    reference = outcomes["interpreted"]
+    for mode in PARITY_MODES:
+        if mode == "interpreted":
+            continue
+        outcome = outcomes[mode]
+        if isinstance(reference, Exception):
+            assert isinstance(outcome, Exception), (
+                f"interpreted raised {reference!r} but {mode} succeeded for: {sql}"
+            )
+            continue
+        assert not isinstance(outcome, Exception), (
+            f"{mode} raised {outcome!r} but interpreted succeeded for: {sql}"
         )
-        return
-    assert not isinstance(compiled, Exception), (
-        f"compiled raised {compiled!r} but interpreted succeeded for: {sql}"
-    )
-    assert compiled.columns == interpreted.columns, sql
-    assert len(compiled.rows) == len(interpreted.rows), sql
-    for compiled_row, interpreted_row in zip(compiled.rows, interpreted.rows):
-        assert compiled_row == interpreted_row, sql
-        assert [type(value) for value in compiled_row] == [
-            type(value) for value in interpreted_row
-        ], f"value types diverge for: {sql}"
+        assert outcome.columns == reference.columns, f"[{mode}] {sql}"
+        assert len(outcome.rows) == len(reference.rows), f"[{mode}] {sql}"
+        for mode_row, reference_row in zip(outcome.rows, reference.rows):
+            assert mode_row == reference_row, f"[{mode}] {sql}"
+            assert [type(value) for value in mode_row] == [
+                type(value) for value in reference_row
+            ], f"value types diverge in {mode} for: {sql}"
 
 
 # ---------------------------------------------------------------------------
@@ -153,18 +167,37 @@ def test_multi_key_join_uses_hash_path(join_database):
 
 
 def test_cross_type_multi_key_join_parity():
-    """compare_values equates 1 = '1' via its string fallback; a naive hash
-    bucket would not.  Multi-key plans must detect heterogeneous key columns
-    and fall back to the nested loop so both modes agree."""
+    """Join-key equality is bucket equality in every mode and join strategy:
+    values are normalised via hashable_key and compared with Python ``==``,
+    so ``1`` never joins ``'1'`` — exactly like the single-key hash path —
+    and multi-key conditions stay on the hash plan regardless of types."""
     database = Database("cross-type")
     database.create_table("t1", [("a", "INT"), ("b", "TEXT")])
     database.create_table("t2", [("c", "TEXT"), ("d", "TEXT")])
     database.table("t1").insert_rows([(1, "x"), (2, "y")])
     database.table("t2").insert_rows([("1", "x"), ("2", "z")])
-    sql = "SELECT * FROM t1 JOIN t2 ON t1.a = t2.c AND t1.b = t2.d"
+    multi = "SELECT * FROM t1 JOIN t2 ON t1.a = t2.c AND t1.b = t2.d"
+    single = "SELECT * FROM t1 JOIN t2 ON t1.a = t2.c"
+    assert_parity(database, multi)
+    assert_parity(database, single)
+    for mode in PARITY_MODES:
+        database.executor_mode = mode
+        # INT 1 and TEXT '1' hash apart, in multi-key and single-key joins alike.
+        assert database.execute(multi).rows == []
+        assert database.execute(single).rows == []
+
+
+def test_integral_float_keys_join_across_types():
+    """hashable_key folds integral floats to int, so 1.0 joins 1 everywhere."""
+    database = Database("float-keys")
+    database.create_table("t1", [("a", "INT"), ("b", "INT")])
+    database.create_table("t2", [("c", "REAL"), ("d", "INT")])
+    database.table("t1").insert_rows([(1, 5), (2, 6)])
+    database.table("t2").insert_rows([(1.0, 5), (2.0, 7)])
+    sql = "SELECT t1.a, t2.d FROM t1 JOIN t2 ON t1.a = t2.c AND t1.b = t2.d"
     assert_parity(database, sql)
     database.executor_mode = "compiled"
-    assert database.execute(sql).rows == [(1, "x", "1", "x")]
+    assert database.execute(sql).rows == [(1, 5)]
 
 
 def test_homogeneous_multi_key_join_still_hashes(join_database):
@@ -241,11 +274,13 @@ def test_error_parity_for_bad_queries(hr_database):
         "SELECT * FROM missing_table",
         "SELECT SUM(salary) FROM employees WHERE SUM(salary) > 1",
     ):
-        compiled, interpreted = run_both_modes(hr_database, sql)
-        assert isinstance(compiled, ReproError), sql
-        assert isinstance(interpreted, ReproError), sql
-        assert type(compiled) is type(interpreted), sql
-        assert str(compiled) == str(interpreted), sql
+        outcomes = run_all_modes(hr_database, sql)
+        reference = outcomes["interpreted"]
+        assert isinstance(reference, ReproError), sql
+        for mode in PARITY_MODES:
+            assert isinstance(outcomes[mode], ReproError), f"[{mode}] {sql}"
+            assert type(outcomes[mode]) is type(reference), f"[{mode}] {sql}"
+            assert str(outcomes[mode]) == str(reference), f"[{mode}] {sql}"
 
 
 def test_parity_after_dml(hr_database):

@@ -1,0 +1,466 @@
+"""Planner, statistics, alias-resolution, and gold-cache persistence tests.
+
+Covers the cost-based source planner end to end: EXPLAIN output (join
+reordering, predicate pushdown, cardinality estimates), planned-mode
+execution staying bit-identical to the other modes, plan-cache behaviour
+(hits, staleness re-derivation, catalog invalidation), the incremental
+:class:`~repro.engine.stats.StatsCatalog`, GROUP BY alias resolution, and
+the persistent :class:`~repro.metrics.execution.GoldResultCache`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ReproError
+from repro.metrics.execution import GoldResultCache, compare_execution
+from repro.workloads import build_benchmark, workload_fingerprint
+
+MODES = ("interpreted", "compiled", "planned")
+
+
+@pytest.fixture()
+def shop_database() -> Database:
+    """Three tables with skewed sizes so reordering is clearly profitable.
+
+    Textual join order in the test queries goes biggest-first
+    (line_items > orders > customers) so the planner has to reverse it.
+    """
+    database = Database("shop")
+    database.execute(
+        "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, tier TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT, status TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE line_items (order_id INT, product TEXT, qty INT)"
+    )
+    database.execute(
+        "INSERT INTO customers (id, name, tier) VALUES "
+        + ", ".join(
+            f"({i}, 'cust_{i}', '{'gold' if i == 0 else 'basic'}')" for i in range(5)
+        )
+    )
+    database.execute(
+        "INSERT INTO orders (id, customer_id, status) VALUES "
+        + ", ".join(
+            f"({i}, {i % 5}, '{'open' if i % 3 else 'closed'}')" for i in range(20)
+        )
+    )
+    database.execute(
+        "INSERT INTO line_items (order_id, product, qty) VALUES "
+        + ", ".join(f"({i % 20}, 'prod_{i % 7}', {1 + i % 4})" for i in range(60))
+    )
+    return database
+
+
+JOIN_SQL = (
+    "SELECT c.name, o.id, l.product "
+    "FROM line_items l JOIN orders o ON l.order_id = o.id "
+    "JOIN customers c ON o.customer_id = c.id "
+    "WHERE c.tier = 'gold'"
+)
+
+
+def run_modes(database: Database, sql: str) -> dict[str, object]:
+    """Execute ``sql`` under every executor mode, capturing errors."""
+    original = database.executor_mode
+    outcomes: dict[str, object] = {}
+    try:
+        for mode in MODES:
+            database.executor_mode = mode
+            try:
+                outcomes[mode] = database.execute(sql)
+            except ReproError as exc:
+                outcomes[mode] = exc
+    finally:
+        database.executor_mode = original
+    return outcomes
+
+
+def assert_identical(database: Database, sql: str) -> None:
+    """All three modes must agree cell-for-cell (interpreted is reference)."""
+    outcomes = run_modes(database, sql)
+    reference = outcomes["interpreted"]
+    assert not isinstance(reference, Exception), f"interpreted failed: {sql}"
+    for mode in MODES:
+        outcome = outcomes[mode]
+        assert not isinstance(outcome, Exception), f"[{mode}] raised for: {sql}"
+        assert outcome.columns == reference.columns, f"[{mode}] {sql}"
+        assert outcome.rows == reference.rows, f"[{mode}] {sql}"
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN: reordering, pushdown, estimates, unplannable reasons
+# ---------------------------------------------------------------------------
+
+
+class TestExplain:
+    def test_reorders_joins_smallest_first(self, shop_database):
+        plan = shop_database.explain(JOIN_SQL)
+        assert plan["planned"] is True
+        assert plan["reordered"] is True
+        # Textual order is l, o, c; the filtered customers scan is cheapest.
+        assert plan["join_order"][0] == "c"
+        assert plan["join_order"] != ["l", "o", "c"]
+
+    def test_pushdown_lands_on_the_right_scan(self, shop_database):
+        plan = shop_database.explain(JOIN_SQL)
+        by_name = {leaf["name"]: leaf for leaf in plan["leaves"]}
+        assert len(by_name["c"]["pushed_filters"]) == 1
+        assert "tier" in by_name["c"]["pushed_filters"][0]
+        assert by_name["l"]["pushed_filters"] == []
+        # The pushed equality shrinks the customers estimate below base rows.
+        assert by_name["c"]["estimated_rows"] < by_name["c"]["base_rows"]
+
+    def test_estimates_and_steps_present(self, shop_database):
+        plan = shop_database.explain(JOIN_SQL)
+        assert plan["estimated_rows"] > 0
+        assert len(plan["steps"]) == 2
+        for step in plan["steps"]:
+            assert step["keys"], "every join step should have a hash key"
+
+    def test_single_table_is_not_planned(self, shop_database):
+        plan = shop_database.explain("SELECT * FROM orders WHERE id > 3")
+        assert plan["planned"] is False
+        assert "single-relation" in plan["reason"]
+
+    def test_outer_join_is_not_planned(self, shop_database):
+        plan = shop_database.explain(
+            "SELECT * FROM orders o LEFT JOIN customers c ON o.customer_id = c.id"
+        )
+        assert plan["planned"] is False
+        assert "left" in plan["reason"].lower()
+
+    def test_subquery_in_on_is_not_planned(self, shop_database):
+        plan = shop_database.explain(
+            "SELECT * FROM orders o JOIN customers c "
+            "ON o.customer_id = (SELECT MIN(id) FROM customers)"
+        )
+        assert plan["planned"] is False
+        assert "subquery" in plan["reason"]
+
+    def test_unknown_table_is_not_planned(self, shop_database):
+        plan = shop_database.explain(
+            "SELECT * FROM orders o JOIN nowhere n ON o.id = n.id"
+        )
+        assert plan["planned"] is False
+
+    def test_non_select_statements(self, shop_database):
+        plan = shop_database.explain("INSERT INTO customers (id) VALUES (99)")
+        assert plan["statement"] == "Insert"
+        assert plan["planned"] is False
+        # explain only parses — the INSERT must not have run.
+        assert len(shop_database.table("customers")) == 5
+
+    def test_explain_works_in_every_mode(self, shop_database):
+        for mode in MODES:
+            shop_database.executor_mode = mode
+            plan = shop_database.explain(JOIN_SQL)
+            assert plan["planned"] is True
+            assert plan["executor_mode"] == mode
+
+
+# ---------------------------------------------------------------------------
+# planned execution: bit-identical results, graceful fallback
+# ---------------------------------------------------------------------------
+
+
+class TestPlannedExecution:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            JOIN_SQL,
+            # No ORDER BY: row *order* must still match the unplanned paths.
+            "SELECT l.product, o.status FROM line_items l "
+            "JOIN orders o ON l.order_id = o.id WHERE o.status = 'closed'",
+            "SELECT c.name, COUNT(*) AS n FROM line_items l "
+            "JOIN orders o ON l.order_id = o.id "
+            "JOIN customers c ON o.customer_id = c.id "
+            "GROUP BY c.name ORDER BY n DESC, c.name",
+            # Cross join plus WHERE equality (stays compare_values, no edge).
+            "SELECT o.id, c.id FROM orders o, customers c "
+            "WHERE o.customer_id = c.id AND c.tier = 'gold'",
+        ],
+    )
+    def test_bit_identical_across_modes(self, shop_database, sql):
+        assert_identical(shop_database, sql)
+
+    def test_unplannable_queries_fall_back(self, shop_database):
+        assert_identical(
+            shop_database,
+            "SELECT o.id, c.name FROM orders o "
+            "LEFT JOIN customers c ON o.customer_id = c.id ORDER BY o.id",
+        )
+
+
+# ---------------------------------------------------------------------------
+# plan cache: hits, staleness, catalog invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_the_cache(self, shop_database):
+        shop_database.executor_mode = "planned"
+        planner = shop_database._executor.planner
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built == 1
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built == 1
+        assert planner.cache_hits >= 1
+
+    def test_unplannable_verdict_is_cached(self, shop_database):
+        shop_database.executor_mode = "planned"
+        planner = shop_database._executor.planner
+        sql = "SELECT * FROM orders o LEFT JOIN customers c ON o.customer_id = c.id"
+        shop_database.execute(sql)
+        built = planner.plans_built
+        shop_database.execute(sql)
+        assert planner.plans_built == built
+
+    def test_dml_below_threshold_keeps_the_plan(self, shop_database):
+        shop_database.executor_mode = "planned"  # default threshold: 64
+        planner = shop_database._executor.planner
+        shop_database.execute(JOIN_SQL)
+        shop_database.execute("INSERT INTO orders (id, customer_id, status) VALUES (90, 0, 'open')")
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built == 1
+
+    def test_dml_past_threshold_rederives_the_plan(self, shop_database):
+        shop_database.plan_staleness_threshold = 1
+        shop_database.executor_mode = "planned"
+        planner = shop_database._executor.planner
+        planner.staleness_threshold = 1
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built == 1
+        shop_database.execute("INSERT INTO orders (id, customer_id, status) VALUES (91, 0, 'open')")
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built == 2
+
+    def test_unplannable_verdict_never_goes_stale(self, shop_database):
+        shop_database.executor_mode = "planned"
+        planner = shop_database._executor.planner
+        planner.staleness_threshold = 1
+        sql = "SELECT * FROM orders o LEFT JOIN customers c ON o.customer_id = c.id"
+        shop_database.execute(sql)
+        built = planner.plans_built
+        shop_database.execute("INSERT INTO orders (id, customer_id, status) VALUES (92, 0, 'open')")
+        shop_database.execute(sql)
+        assert planner.plans_built == built
+
+    def test_staleness_threshold_flows_from_the_database(self):
+        database = Database("tuned", plan_staleness_threshold=7)
+        assert database._executor.planner.staleness_threshold == 7
+
+    def test_catalog_change_invalidates(self, shop_database):
+        shop_database.executor_mode = "planned"
+        planner = shop_database._executor.planner
+        shop_database.execute(JOIN_SQL)
+        built = planner.plans_built
+        shop_database.execute("CREATE TABLE unrelated (x INT)")
+        shop_database.execute(JOIN_SQL)
+        assert planner.plans_built > built
+
+
+# ---------------------------------------------------------------------------
+# statistics catalog: correctness and incrementality
+# ---------------------------------------------------------------------------
+
+
+class TestStatsCatalog:
+    def test_profile_values(self, shop_database):
+        stats = shop_database.stats.table_stats("customers")
+        assert stats.row_count == 5
+        assert stats.column("tier").distinct == 2  # gold + basic
+        assert stats.column("id").distinct == 5
+        assert stats.column("TIER") is stats.column("tier")  # case-insensitive
+
+    def test_null_fraction(self):
+        database = Database("nulls")
+        database.execute("CREATE TABLE t (a INT, b TEXT)")
+        database.execute(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, 'y'), (NULL, NULL), (4, 'x')"
+        )
+        stats = database.stats.table_stats("t")
+        assert stats.column("a").null_fraction == 0.5
+        assert stats.column("b").null_count == 1
+        assert stats.column("b").distinct == 2
+
+    def test_unchanged_tables_profile_once(self, shop_database):
+        catalog = shop_database.stats
+        shop_database.stats.table_stats("orders")
+        shop_database.stats.table_stats("orders")
+        assert catalog.profiles_computed == 1
+
+    def test_insert_only_reprofiles_the_mutated_table(self, shop_database):
+        catalog = shop_database.stats
+        catalog.table_stats("orders")
+        catalog.table_stats("customers")
+        assert catalog.profiles_computed == 2
+        shop_database.execute("INSERT INTO orders (id, customer_id, status) VALUES (50, 1, 'open')")
+        assert catalog.table_stats("customers").row_count == 5
+        assert catalog.profiles_computed == 2  # customers reused
+        assert catalog.table_stats("orders").row_count == 21
+        assert catalog.profiles_computed == 3  # orders re-profiled
+
+    def test_delete_reprofiles(self, shop_database):
+        catalog = shop_database.stats
+        assert catalog.table_stats("orders").row_count == 20
+        shop_database.execute("DELETE FROM orders WHERE id < 10")
+        assert catalog.table_stats("orders").row_count == 10
+        assert catalog.profiles_computed == 2
+
+    def test_drop_and_recreate_resets_the_profile(self, shop_database):
+        catalog = shop_database.stats
+        assert catalog.table_stats("orders").row_count == 20
+        shop_database.execute("DROP TABLE orders")
+        shop_database.execute("CREATE TABLE orders (id INT, note TEXT)")
+        shop_database.execute("INSERT INTO orders (id, note) VALUES (1, 'fresh')")
+        stats = catalog.table_stats("orders")
+        assert stats.row_count == 1
+        assert stats.column("note") is not None
+        assert stats.column("status") is None
+
+
+# ---------------------------------------------------------------------------
+# GROUP BY / ORDER BY alias resolution (identical in every mode)
+# ---------------------------------------------------------------------------
+
+
+class TestAliasResolution:
+    def test_group_by_column_alias(self, hr_database):
+        sql = "SELECT dept_id AS grp, COUNT(*) AS n FROM employees GROUP BY grp"
+        assert_identical(hr_database, sql)
+        rows = sorted(hr_database.execute(sql).rows, key=lambda row: (row[0] is None, row[0]))
+        assert rows == [(1, 2), (2, 2), (3, 1), (None, 1)]
+
+    def test_group_by_expression_alias(self, hr_database):
+        sql = (
+            "SELECT salary * 2 AS double_salary, COUNT(*) AS n "
+            "FROM employees GROUP BY double_salary"
+        )
+        assert_identical(hr_database, sql)
+        assert len(hr_database.execute(sql).rows) == 6
+
+    def test_source_column_shadows_alias(self, hr_database):
+        # The alias reuses a real column name: grouping must use the source
+        # column (6 distinct salaries), not the aliased dept_id (4 groups).
+        sql = "SELECT dept_id AS salary, COUNT(*) AS n FROM employees GROUP BY salary"
+        assert_identical(hr_database, sql)
+        assert len(hr_database.execute(sql).rows) == 6
+
+    def test_aggregate_alias_in_group_by_still_errors(self, hr_database):
+        outcomes = run_modes(
+            hr_database, "SELECT COUNT(*) AS n FROM employees GROUP BY n"
+        )
+        reference = outcomes["interpreted"]
+        assert isinstance(reference, ReproError)
+        for mode in MODES:
+            assert isinstance(outcomes[mode], ReproError)
+            assert str(outcomes[mode]) == str(reference)
+
+    def test_order_by_alias(self, hr_database):
+        sql = "SELECT name, salary * 2 AS double_salary FROM employees ORDER BY double_salary"
+        assert_identical(hr_database, sql)
+        rows = hr_database.execute(sql).rows
+        assert [row[0] for row in rows] == ["Frank", "Dan", "Carol", "Bob", "Alice", "Eve"]
+
+
+# ---------------------------------------------------------------------------
+# persistent gold-result cache
+# ---------------------------------------------------------------------------
+
+
+GOLD_QUERIES = [
+    "SELECT name FROM employees WHERE salary > 90000 ORDER BY name",
+    "SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id",
+    "SELECT broken FROM employees",  # errors must round-trip too
+]
+
+
+class TestGoldCachePersistence:
+    def populate(self, database, path, fingerprint):
+        cache = GoldResultCache(database, persist_path=path, fingerprint=fingerprint)
+        for sql in GOLD_QUERIES:
+            compare_execution(database, sql, sql, gold_cache=cache)
+        cache.save()
+        return cache
+
+    def test_save_and_reload_roundtrip(self, hr_database, tmp_path):
+        path = tmp_path / "gold.json"
+        first = self.populate(hr_database, path, "fp-hr")
+        assert path.exists()
+
+        reloaded = GoldResultCache(hr_database, persist_path=path, fingerprint="fp-hr")
+        assert reloaded.loaded == len(first) == len(GOLD_QUERIES)
+        entry = reloaded.get(GOLD_QUERIES[0])
+        assert entry is not None
+        assert entry.ordered is True
+        assert entry.result.rows == [("Alice",), ("Bob",), ("Eve",)]
+        assert all(isinstance(row, tuple) for row in entry.result.rows)
+        failed = reloaded.get(GOLD_QUERIES[2])
+        assert failed.result is None
+        assert failed.error
+
+    def test_reloaded_entries_skip_execution(self, hr_database, tmp_path):
+        path = tmp_path / "gold.json"
+        self.populate(hr_database, path, "fp-hr")
+        reloaded = GoldResultCache(hr_database, persist_path=path, fingerprint="fp-hr")
+        comparison = compare_execution(
+            hr_database, GOLD_QUERIES[0], GOLD_QUERIES[0], gold_cache=reloaded
+        )
+        assert comparison.match
+        assert reloaded.hits == 1
+        assert reloaded.misses == 0
+
+    def test_fingerprint_mismatch_starts_empty(self, hr_database, tmp_path):
+        path = tmp_path / "gold.json"
+        self.populate(hr_database, path, "fp-hr")
+        stale = GoldResultCache(hr_database, persist_path=path, fingerprint="fp-other")
+        assert stale.loaded == 0
+        assert len(stale) == 0
+
+    def test_data_version_mismatch_starts_empty(self, hr_database, tmp_path):
+        path = tmp_path / "gold.json"
+        self.populate(hr_database, path, "fp-hr")
+        hr_database.execute(
+            "INSERT INTO employees (emp_id, name, salary, dept_id, hire_date) "
+            "VALUES (7, 'Grace', 99000, 1, '2023-01-01')"
+        )
+        stale = GoldResultCache(hr_database, persist_path=path, fingerprint="fp-hr")
+        assert stale.loaded == 0
+
+    def test_corrupt_file_is_ignored(self, hr_database, tmp_path):
+        path = tmp_path / "gold.json"
+        path.write_text("{not json", encoding="utf-8")
+        cache = GoldResultCache(hr_database, persist_path=path, fingerprint="fp-hr")
+        assert cache.loaded == 0
+
+    def test_workload_fingerprint_is_deterministic(self, tiny_spider):
+        rebuilt = build_benchmark("Spider", seed=11, row_scale=0.002, query_count=10)
+        assert tiny_spider.fingerprint() == workload_fingerprint(tiny_spider)
+        assert rebuilt.fingerprint() == tiny_spider.fingerprint()
+        assert len(tiny_spider.fingerprint()) == 64
+        # Deterministic builds land on the same data version, which is what
+        # makes cross-process cache reuse possible at all.
+        assert rebuilt.database.data_version == tiny_spider.database.data_version
+
+    def test_cross_build_reuse(self, tiny_spider, tmp_path):
+        path = tmp_path / "workload_gold.json"
+        sqls = tiny_spider.query_sql[:3]
+        cache = GoldResultCache(
+            tiny_spider.database,
+            persist_path=path,
+            fingerprint=tiny_spider.fingerprint(),
+        )
+        for sql in sqls:
+            compare_execution(tiny_spider.database, sql, sql, gold_cache=cache)
+        cache.save()
+
+        rebuilt = build_benchmark("Spider", seed=11, row_scale=0.002, query_count=10)
+        fresh = GoldResultCache(
+            rebuilt.database, persist_path=path, fingerprint=rebuilt.fingerprint()
+        )
+        assert fresh.loaded == len(sqls)
