@@ -3,6 +3,8 @@
 from repro.core.config import AnnotationTask, TaskConfig
 from repro.core.export import (
     ReviewReport,
+    annotations_at_offset,
+    export_at_offset,
     export_benchmark_json,
     export_jsonl,
     review_against_gold,
@@ -18,6 +20,7 @@ from repro.core.ingestion import (
     load_benchmark_json,
     split_sql_log,
 )
+from repro.core.journal import EventJournal, JournalEvent, JournalRecovery
 from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, CandidateSet, WaveStats
 from repro.core.project import Project, Workspace
 from repro.core.service import (
@@ -26,6 +29,7 @@ from repro.core.service import (
     CompletedJob,
     ServiceStats,
 )
+from repro.core.snapshot import SnapshotManager
 
 __all__ = [
     "AnnotationJob",
@@ -35,18 +39,24 @@ __all__ = [
     "AnnotationTask",
     "CandidateSet",
     "CompletedJob",
+    "EventJournal",
     "Feedback",
     "FeedbackAction",
     "FeedbackLoop",
     "FeedbackOutcome",
     "IngestedDataset",
+    "JournalEvent",
+    "JournalRecovery",
     "LogEntry",
     "Project",
     "ReviewReport",
     "ServiceStats",
+    "SnapshotManager",
     "TaskConfig",
     "WaveStats",
     "Workspace",
+    "annotations_at_offset",
+    "export_at_offset",
     "export_benchmark_json",
     "export_jsonl",
     "ingest_benchmark",

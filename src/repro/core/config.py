@@ -8,10 +8,14 @@ decomposition on/off, knowledge feedback on/off, candidate count).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (llm.base ← config)
+    from repro.llm.base import RetryPolicy
 
 
 class AnnotationTask(Enum):
@@ -40,6 +44,16 @@ class TaskConfig:
             how many queries are retrieved and generated together before
             feedback is applied and accepted annotations are committed.
             1 degenerates to fully sequential annotation.
+        llm_max_attempts: Attempts per LLM call before a transient error is
+            surfaced (1 disables retries).
+        llm_retry_base_delay: Backoff before the first retry, in seconds;
+            doubles per attempt up to ``llm_retry_max_delay``.
+        llm_retry_max_delay: Ceiling on the exponential backoff delay.
+        llm_retry_jitter: Fraction of each backoff delay that is randomised
+            (0 = fixed delays, 1 = anywhere between 0 and the full delay).
+        llm_call_timeout: Per-call wall-clock budget in seconds; ``None``
+            disables timeout enforcement.  A timed-out call counts as a
+            transient error and is retried.
     """
 
     task: AnnotationTask = AnnotationTask.SQL_TO_NL
@@ -51,6 +65,11 @@ class TaskConfig:
     knowledge_feedback_enabled: bool = True
     auto_accept_into_examples: bool = True
     batch_size: int = 16
+    llm_max_attempts: int = 3
+    llm_retry_base_delay: float = 0.05
+    llm_retry_max_delay: float = 2.0
+    llm_retry_jitter: float = 0.5
+    llm_call_timeout: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`PipelineError` on inconsistent settings."""
@@ -60,10 +79,50 @@ class TaskConfig:
             raise PipelineError("top_k_examples cannot be negative")
         if self.batch_size < 1:
             raise PipelineError("batch_size must be at least 1")
+        if self.llm_max_attempts < 1:
+            raise PipelineError("llm_max_attempts must be at least 1")
+        if self.llm_retry_base_delay < 0 or self.llm_retry_max_delay < 0:
+            raise PipelineError("retry delays cannot be negative")
+        if not 0.0 <= self.llm_retry_jitter <= 1.0:
+            raise PipelineError("llm_retry_jitter must be within [0, 1]")
+        if self.llm_call_timeout is not None and self.llm_call_timeout <= 0:
+            raise PipelineError("llm_call_timeout must be positive when set")
         if self.task is AnnotationTask.NL_TO_SQL:
             raise PipelineError(
                 "NL_TO_SQL annotation is future work in the paper and not supported yet"
             )
+
+    def retry_policy(self) -> "RetryPolicy":
+        """The :class:`~repro.llm.base.RetryPolicy` these knobs describe."""
+        from repro.llm.base import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.llm_max_attempts,
+            base_delay=self.llm_retry_base_delay,
+            max_delay=self.llm_retry_max_delay,
+            jitter=self.llm_retry_jitter,
+            call_timeout=self.llm_call_timeout,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (journal / snapshot serialisation)."""
+        state = asdict(self)
+        state["task"] = self.task.value
+        return state
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "TaskConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys are ignored so journals written by newer versions stay
+        replayable by older code, and vice versa missing keys fall back to
+        defaults.
+        """
+        known = {field.name for field in fields(cls)}
+        kwargs = {key: value for key, value in state.items() if key in known}
+        if "task" in kwargs:
+            kwargs["task"] = AnnotationTask(kwargs["task"])
+        return cls(**kwargs)
 
     def describe(self) -> str:
         """One-line summary used in logs and exports."""

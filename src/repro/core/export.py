@@ -12,6 +12,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.journal import ANNOTATION_COMMITTED, EventJournal
 from repro.core.pipeline import AnnotationRecord
 from repro.errors import ExportError
 from repro.metrics.textgen import bleu_score, exact_match, rouge_l
@@ -115,3 +116,45 @@ def export_jsonl(annotations: list[AnnotationRecord], path: str | Path) -> Path:
         for record in records:
             handle.write(json.dumps(record) + "\n")
     return path
+
+
+def annotations_at_offset(
+    journal_path: str | Path,
+    offset: int | None = None,
+    project: str | None = None,
+) -> list[AnnotationRecord]:
+    """Annotations as they stood after the first ``offset`` journal records.
+
+    Reads the service's event journal directly — no live service needed — so
+    any historical export can be reproduced exactly from the audit trail.
+    ``offset=None`` means the whole valid journal; ``project`` restricts the
+    result to one project's records.
+    """
+    records: list[AnnotationRecord] = []
+    for event in EventJournal.read_events(journal_path, limit=offset):
+        if event.type != ANNOTATION_COMMITTED:
+            continue
+        if project is not None and event.payload["project"] != project:
+            continue
+        records.append(AnnotationRecord(**event.payload["record"]))
+    return records
+
+
+def export_at_offset(
+    journal_path: str | Path,
+    path: str | Path,
+    offset: int | None = None,
+    project: str | None = None,
+    indent: int = 2,
+) -> Path:
+    """Export the benchmark JSON exactly as it looked at a journal offset.
+
+    Because the journal is append-only and replay is deterministic, the same
+    ``(journal, offset)`` pair always produces byte-identical output — the
+    reproducibility hook for auditing and for diffing dataset versions.
+    """
+    return export_benchmark_json(
+        annotations_at_offset(journal_path, offset=offset, project=project),
+        path,
+        indent=indent,
+    )

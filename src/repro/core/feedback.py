@@ -38,6 +38,33 @@ class Feedback:
     failure_patterns: list[tuple[str, str]] = field(default_factory=list)
     comment: str = ""
 
+    def to_state(self) -> dict:
+        """JSON-safe representation for the event journal / snapshots."""
+        return {
+            "action": self.action.value,
+            "selected_index": self.selected_index,
+            "edited_text": self.edited_text,
+            "ranking": list(self.ranking),
+            "new_priorities": list(self.new_priorities),
+            "knowledge": [list(pair) for pair in self.knowledge],
+            "failure_patterns": [list(pair) for pair in self.failure_patterns],
+            "comment": self.comment,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Feedback":
+        """Rebuild a feedback event from :meth:`to_state` output."""
+        return cls(
+            action=FeedbackAction(state["action"]),
+            selected_index=state.get("selected_index"),
+            edited_text=state.get("edited_text", ""),
+            ranking=list(state.get("ranking", [])),
+            new_priorities=list(state.get("new_priorities", [])),
+            knowledge=[tuple(pair) for pair in state.get("knowledge", [])],
+            failure_patterns=[tuple(pair) for pair in state.get("failure_patterns", [])],
+            comment=state.get("comment", ""),
+        )
+
 
 @dataclass
 class FeedbackOutcome:
@@ -118,3 +145,32 @@ class FeedbackLoop:
         if sorted(ranking) != list(range(len(candidates))):
             raise PipelineError("ranking must be a permutation of the candidate indices")
         return [candidates[index] for index in ranking]
+
+    # ------------------------------------------------------------------
+    # durability (snapshot) support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe session state: guidance, revision counter, full history.
+
+        The shared :class:`~repro.llm.knowledge.KnowledgeBase` is serialised
+        alongside so one snapshot captures everything the loop feeds into
+        later prompts.
+        """
+        return {
+            "priorities": list(self.priorities),
+            "revision": self.revision,
+            "history": [feedback.to_state() for feedback in self.history],
+            "knowledge": self.knowledge.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshotted session in place (knowledge base included).
+
+        Mutates rather than replaces ``self.knowledge`` so components holding
+        a reference to it (e.g. the simulated LLM) keep seeing updates.
+        """
+        self.priorities = list(state["priorities"])
+        self.revision = int(state["revision"])
+        self.history = [Feedback.from_state(entry) for entry in state["history"]]
+        self.knowledge.load_state(state["knowledge"])

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import TaskConfig
 from repro.core.feedback import Feedback, FeedbackAction, FeedbackLoop
+from repro.core.journal import ANNOTATION_COMMITTED, FEEDBACK_APPLIED, EventJournal
 from repro.errors import PipelineError
 from repro.llm.base import LLMClient
 from repro.llm.prompts import Prompt, PromptBuilder
@@ -87,6 +88,7 @@ class _WaveItem:
     decomposition: DecompositionResult | None
     unit_names: list[str | None]  # None = whole-query (flat) unit
     unit_sqls: list[str]
+    commit_tag: object = None  # opaque caller tag journaled with the commit
     unit_asts: list[object | None] = field(default_factory=list)
     contexts: list[RetrievedContext | None] = field(default_factory=list)
     prompts: list[Prompt] = field(default_factory=list)
@@ -138,6 +140,27 @@ class AnnotationPipeline:
         self.annotations: list[AnnotationRecord] = []
         self.last_run_stats = WaveStats()
         self._counter = 0
+        self._retry_policy = self.config.retry_policy()
+        self._journal: EventJournal | None = None
+        self._journal_project = dataset_name
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal: EventJournal | None, project: str | None = None) -> None:
+        """Start (or stop, with ``None``) journaling this pipeline's commits.
+
+        Every record produced by :meth:`submit_feedback` — and the example it
+        commits to the archive, and the feedback that produced it — is
+        appended to the journal as one atomic ``annotation_committed`` event;
+        feedback that produces no record (regeneration requests) is journaled
+        as ``feedback_applied``.  Must not be attached while a replay is
+        rebuilding this pipeline, or events would be journaled twice.
+        """
+        self._journal = journal
+        if project is not None:
+            self._journal_project = project
 
     # ------------------------------------------------------------------
     # candidate generation (steps 3.5 - 5.5)
@@ -194,7 +217,7 @@ class AnnotationPipeline:
     def _generate_flat(self, sql: str) -> list[str]:
         context = self._retrieve(sql)
         prompt = self._build_prompt(sql, context)
-        return self.llm.generate(prompt).candidates
+        return self.llm.generate_with_retry(prompt, self._retry_policy).candidates
 
     def _generate_decomposed(
         self, decomposition: DecompositionResult
@@ -203,7 +226,9 @@ class AnnotationPipeline:
         for unit in decomposition.units:
             context = self._retrieve(unit.sql)
             prompt = self._build_prompt(unit.sql, context)
-            unit_candidates[unit.name] = self.llm.generate(prompt).candidates
+            unit_candidates[unit.name] = self.llm.generate_with_retry(
+                prompt, self._retry_policy
+            ).candidates
         return self._merge_unit_candidates(decomposition, unit_candidates), unit_candidates
 
     def _merge_unit_candidates(
@@ -227,16 +252,36 @@ class AnnotationPipeline:
     # ------------------------------------------------------------------
 
     def submit_feedback(
-        self, candidate_set: CandidateSet, feedback: Feedback, query_id: str | None = None
+        self,
+        candidate_set: CandidateSet,
+        feedback: Feedback,
+        query_id: str | None = None,
+        commit_tag: object = None,
     ) -> AnnotationRecord | None:
         """Apply annotator feedback; returns the record when one is produced.
 
         ``None`` is returned when the feedback asks for regeneration (call
         :meth:`generate_candidates` again — the new priorities and knowledge
         are already folded into the session).
+
+        This is the pipeline's durability commit point: with a journal
+        attached, the produced record, the example it adds to the archive and
+        the feedback that shaped it are appended as *one* atomic event, so a
+        crash either persists the whole commit or none of it.  ``commit_tag``
+        is an opaque caller token (the service passes job ids) embedded in the
+        event so replay can settle queue bookkeeping.
         """
         outcome = self.feedback_loop.apply(candidate_set.candidates, feedback)
         if outcome.needs_regeneration:
+            if self._journal is not None:
+                self._journal.append(
+                    FEEDBACK_APPLIED,
+                    {
+                        "project": self._journal_project,
+                        "feedback": feedback.to_state(),
+                        "candidates": list(candidate_set.candidates),
+                    },
+                )
             return None
 
         self._counter += 1
@@ -253,14 +298,33 @@ class AnnotationPipeline:
         )
         self.annotations.append(record)
 
+        example = None
         if outcome.accepted and self.config.auto_accept_into_examples and record.nl:
-            self.retriever.record_annotation(
+            example = self.retriever.record_annotation(
                 record.sql, record.nl, dataset=self.dataset_name
+            )
+        if self._journal is not None:
+            # Shallow dicts, not dataclasses.asdict: the payload is consumed
+            # by json.dumps before anything can mutate it, and asdict's
+            # recursive deep copy is measurable on this per-commit path.
+            self._journal.append(
+                ANNOTATION_COMMITTED,
+                {
+                    "project": self._journal_project,
+                    "job_id": commit_tag,
+                    "record": vars(record),
+                    "feedback": feedback.to_state(),
+                    "example": vars(example) if example is not None else None,
+                },
             )
         return record
 
     def annotate(
-        self, sql: str, feedback: Feedback | None = None, query_id: str | None = None
+        self,
+        sql: str,
+        feedback: Feedback | None = None,
+        query_id: str | None = None,
+        commit_tag: object = None,
     ) -> AnnotationRecord:
         """Convenience: generate candidates and apply feedback in one call.
 
@@ -269,13 +333,15 @@ class AnnotationPipeline:
         """
         candidate_set = self.generate_candidates(sql, query_id=query_id)
         feedback = feedback or Feedback(action=FeedbackAction.ACCEPT, selected_index=0)
-        record = self.submit_feedback(candidate_set, feedback, query_id=query_id)
+        record = self.submit_feedback(
+            candidate_set, feedback, query_id=query_id, commit_tag=commit_tag
+        )
         if record is None:
             # A regeneration request with no follow-up: accept the refreshed top candidate.
             candidate_set = self.generate_candidates(sql, query_id=query_id)
             record = self.submit_feedback(
                 candidate_set, Feedback(action=FeedbackAction.ACCEPT, selected_index=0),
-                query_id=query_id,
+                query_id=query_id, commit_tag=commit_tag,
             )
         assert record is not None
         return record
@@ -285,6 +351,7 @@ class AnnotationPipeline:
         statements: list[str],
         query_ids: list[str | None] | None = None,
         batch_size: int | None = None,
+        commit_tags: list | None = None,
     ) -> list[AnnotationRecord]:
         """Annotate SQL statements in batched waves with accept-top feedback.
 
@@ -304,6 +371,8 @@ class AnnotationPipeline:
         """
         if query_ids is not None and len(query_ids) != len(statements):
             raise PipelineError("query_ids must align with statements")
+        if commit_tags is not None and len(commit_tags) != len(statements):
+            raise PipelineError("commit_tags must align with statements")
         wave_size = batch_size if batch_size is not None else self.config.batch_size
         if wave_size < 1:
             raise PipelineError("batch_size must be at least 1")
@@ -321,7 +390,12 @@ class AnnotationPipeline:
                 if query_ids is not None
                 else [None] * len(wave_statements)
             )
-            records.extend(self._run_wave(wave_statements, wave_ids, stats))
+            wave_tags = (
+                commit_tags[start : start + size]
+                if commit_tags is not None
+                else [None] * len(wave_statements)
+            )
+            records.extend(self._run_wave(wave_statements, wave_ids, stats, wave_tags))
             stats.waves += 1
             start += len(wave_statements)
             size = min(wave_size, size * 2)
@@ -334,10 +408,13 @@ class AnnotationPipeline:
         statements: list[str],
         query_ids: list[str | None],
         stats: WaveStats,
+        commit_tags: list | None = None,
     ) -> list[AnnotationRecord]:
+        if commit_tags is None:
+            commit_tags = [None] * len(statements)
         # Phase 1 — parse and decompose every statement in the wave.
         items: list[_WaveItem] = []
-        for sql, query_id in zip(statements, query_ids):
+        for sql, query_id, commit_tag in zip(statements, query_ids, commit_tags):
             sql = sql.strip().rstrip(";")
             if not sql:
                 raise PipelineError("cannot annotate an empty SQL string")
@@ -363,6 +440,7 @@ class AnnotationPipeline:
                     decomposition=decomposition,
                     unit_names=unit_names,
                     unit_sqls=unit_sqls,
+                    commit_tag=commit_tag,
                     unit_asts=unit_asts,
                 )
             )
@@ -383,7 +461,7 @@ class AnnotationPipeline:
         ]
 
         # Phase 3 — one batched generation call for the whole wave.
-        results = self.llm.generate_batch(prompts)
+        results = self.llm.generate_batch_with_retry(prompts, self._retry_policy)
         cursor = 0
         for item in items:
             item.contexts = contexts[cursor : cursor + len(item.unit_sqls)]
@@ -406,6 +484,7 @@ class AnnotationPipeline:
                 candidate_set,
                 Feedback(action=FeedbackAction.ACCEPT, selected_index=0),
                 query_id=item.query_id,
+                commit_tag=item.commit_tag,
             )
             assert record is not None  # ACCEPT feedback never asks to regenerate
             records.append(record)
@@ -506,7 +585,7 @@ class AnnotationPipeline:
             ]
         if item.decomposition is not None:
             unit_candidates = {
-                name: self.llm.generate(prompt).candidates
+                name: self.llm.generate_with_retry(prompt, self._retry_policy).candidates
                 for name, prompt in zip(item.unit_names, fresh_prompts)
             }
             candidates = self._merge_unit_candidates(item.decomposition, unit_candidates)
@@ -514,7 +593,9 @@ class AnnotationPipeline:
             prompt = self._build_prompt(item.sql, context)
         else:
             unit_candidates = {}
-            candidates = self.llm.generate(fresh_prompts[0]).candidates
+            candidates = self.llm.generate_with_retry(
+                fresh_prompts[0], self._retry_policy
+            ).candidates
             context = fresh_contexts[0]
             prompt = fresh_prompts[0]
         return CandidateSet(

@@ -8,17 +8,59 @@ vectorized retrieval, one batched LLM call per wave, and per-query commits so
 the growing-archive effect is preserved.  It models the server side of
 BenchPress under heavy multi-user load, where annotation requests arrive
 faster than they are processed.
+
+Durability.  The service can run on top of an append-only
+:class:`~repro.core.journal.EventJournal`: every state change (project
+registered, job submitted, annotation committed, job failed) is journaled at
+its commit point, and :meth:`AnnotationService.recover` rebuilds the exact
+in-memory state by replaying the journal — optionally warm-starting from the
+newest :class:`~repro.core.snapshot.SnapshotManager` checkpoint and replaying
+only the journal suffix.  Jobs follow at-least-once semantics: a job stays
+pending until its ``annotation_committed`` (or ``job_failed``) event is on
+disk, so a crash mid-drain re-queues exactly the jobs whose commits were
+lost.
+
+Fault isolation.  One failing job does not poison a drain: when a batched
+wave raises, the already-committed prefix is kept, the remaining jobs are
+retried individually (the sequential path is bit-identical to the wave path),
+and a job that still fails is quarantined as a failed
+:class:`CompletedJob` with its error message — counted in
+:attr:`ServiceStats.failed`, never silently dropped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from repro.core.config import TaskConfig
+from repro.core.journal import (
+    ANNOTATION_COMMITTED,
+    DRAIN_STATS,
+    FEEDBACK_APPLIED,
+    JOB_FAILED,
+    JOB_SUBMITTED,
+    PROJECT_REGISTERED,
+    EventJournal,
+    JournalEvent,
+)
 from repro.core.pipeline import AnnotationPipeline, AnnotationRecord
-from repro.errors import PipelineError
+from repro.core.snapshot import (
+    SnapshotManager,
+    capture_pipeline_state,
+    restore_pipeline_state,
+    schema_from_state,
+    schema_to_state,
+)
+from repro.core.feedback import Feedback
+from repro.errors import JournalError, PipelineError
 from repro.llm.base import LLMClient, UsageStats
 from repro.schema.model import DatabaseSchema
+
+#: Optional factory recreating custom LLM clients during recovery, keyed by
+#: project name; return ``None`` to use the default simulated client.
+LLMFactory = Callable[[str], "LLMClient | None"]
 
 
 @dataclass
@@ -33,10 +75,20 @@ class AnnotationJob:
 
 @dataclass
 class CompletedJob:
-    """A drained job together with the record it produced."""
+    """A drained job together with the record it produced.
+
+    ``record`` is ``None`` — and ``error`` holds the reason — when the job
+    failed and was quarantined instead of annotated.
+    """
 
     job: AnnotationJob
-    record: AnnotationRecord
+    record: AnnotationRecord | None
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        """Whether this job ended in quarantine rather than an annotation."""
+        return self.record is None
 
 
 @dataclass
@@ -45,6 +97,7 @@ class ServiceStats:
 
     submitted: int = 0
     completed: int = 0
+    failed: int = 0
     waves: int = 0
     batched_queries: int = 0
     regenerated_queries: int = 0
@@ -52,8 +105,8 @@ class ServiceStats:
 
     @property
     def pending(self) -> int:
-        """Jobs submitted but not yet drained."""
-        return self.submitted - self.completed
+        """Jobs submitted but not yet drained (or quarantined)."""
+        return self.submitted - self.completed - self.failed
 
 
 class AnnotationService:
@@ -65,6 +118,12 @@ class AnnotationService:
         self._queue: list[AnnotationJob] = []
         self._next_job_id = 1
         self.stats = ServiceStats()
+        #: Jobs that failed annotation and were isolated from the queue.
+        self.quarantine: list[CompletedJob] = []
+        self._journal: EventJournal | None = None
+        self._snapshots: SnapshotManager | None = None
+        self._snapshot_every = 0
+        self._last_snapshot_offset = 0
 
     # ------------------------------------------------------------------
     # project management
@@ -86,6 +145,16 @@ class AnnotationService:
             schema=schema, config=config, llm=llm, dataset_name=name
         )
         self._pipelines[name] = pipeline
+        if self._journal is not None:
+            self._journal.append(
+                PROJECT_REGISTERED,
+                {
+                    "project": name,
+                    "schema": schema_to_state(schema),
+                    "config": pipeline.config.to_dict(),
+                },
+            )
+            pipeline.attach_journal(self._journal, project=name)
         return pipeline
 
     def pipeline(self, project: str | None = None) -> AnnotationPipeline:
@@ -119,6 +188,16 @@ class AnnotationService:
         self._next_job_id += 1
         self._queue.append(job)
         self.stats.submitted += 1
+        if self._journal is not None:
+            self._journal.append(
+                JOB_SUBMITTED,
+                {
+                    "job_id": job.job_id,
+                    "project": job.project,
+                    "sql": job.sql,
+                    "query_id": job.query_id,
+                },
+            )
         return job.job_id
 
     def submit_many(
@@ -148,7 +227,14 @@ class AnnotationService:
         Jobs are grouped per project (preserving submission order within a
         project) and each group runs through that project's
         :meth:`AnnotationPipeline.annotate_many`.  Returns the completed jobs
-        in the order they were processed.
+        in the order they were processed — including failed ones, whose
+        ``record`` is ``None`` (see :attr:`CompletedJob.failed`).
+
+        Failure isolation: when a batched group raises, the jobs already
+        committed keep their records, and the remainder re-runs one job at a
+        time (bit-identical to the wave path) so a single poisoned statement
+        is quarantined instead of sinking its whole wave.  Journal errors are
+        never swallowed — losing durability is fatal, not isolable.
         """
         if max_jobs is not None and max_jobs < 0:
             raise PipelineError("max_jobs cannot be negative")
@@ -161,24 +247,97 @@ class AnnotationService:
         for job in taken:
             by_project.setdefault(job.project, []).append(job)
 
+        drain_waves = 0
+        drain_batched = 0
+        drain_regenerated = 0
         completed: list[CompletedJob] = []
         for project, jobs in by_project.items():
             pipeline = self._pipelines[project]
-            records = pipeline.annotate_many(
-                [job.sql for job in jobs],
-                query_ids=[job.query_id for job in jobs],
-            )
-            run = pipeline.last_run_stats
-            self.stats.waves += run.waves
-            self.stats.batched_queries += run.batched_queries
-            self.stats.regenerated_queries += run.regenerated_queries
-            completed.extend(
-                CompletedJob(job=job, record=record)
-                for job, record in zip(jobs, records)
-            )
-        self.stats.completed += len(completed)
+            records_before = len(pipeline.annotations)
+            try:
+                records = pipeline.annotate_many(
+                    [job.sql for job in jobs],
+                    query_ids=[job.query_id for job in jobs],
+                    commit_tags=[job.job_id for job in jobs],
+                )
+                run = pipeline.last_run_stats
+                drain_waves += run.waves
+                drain_batched += run.batched_queries
+                drain_regenerated += run.regenerated_queries
+                completed.extend(
+                    CompletedJob(job=job, record=record)
+                    for job, record in zip(jobs, records)
+                )
+            except JournalError:
+                raise
+            except Exception:
+                # The already-committed prefix (journaled, archived) is kept;
+                # everything after it — including the job that raised — is
+                # retried individually so one bad statement cannot sink its
+                # wave-mates.
+                done = len(pipeline.annotations) - records_before
+                committed_records = pipeline.annotations[records_before:]
+                completed.extend(
+                    CompletedJob(job=job, record=record)
+                    for job, record in zip(jobs[:done], committed_records)
+                )
+                completed.extend(
+                    self._drain_sequentially(pipeline, jobs[done:])
+                )
+        succeeded = sum(1 for item in completed if not item.failed)
+        self.stats.completed += succeeded
+        self.stats.waves += drain_waves
+        self.stats.batched_queries += drain_batched
+        self.stats.regenerated_queries += drain_regenerated
         self._refresh_usage()
+        if self._journal is not None:
+            self._journal.append(
+                DRAIN_STATS,
+                {
+                    "waves": drain_waves,
+                    "batched_queries": drain_batched,
+                    "regenerated_queries": drain_regenerated,
+                },
+            )
+            self._journal.commit()  # group-commit point for "batch" fsync
+            self.maybe_snapshot()
         return completed
+
+    def _drain_sequentially(
+        self, pipeline: AnnotationPipeline, jobs: list[AnnotationJob]
+    ) -> list[CompletedJob]:
+        """Per-job fallback path with quarantine for jobs that still fail."""
+        results: list[CompletedJob] = []
+        for job in jobs:
+            try:
+                record = pipeline.annotate(
+                    job.sql, query_id=job.query_id, commit_tag=job.job_id
+                )
+                results.append(CompletedJob(job=job, record=record))
+            except JournalError:
+                raise
+            except Exception as exc:
+                results.append(self._fail_job(job, exc))
+        return results
+
+    def _fail_job(self, job: AnnotationJob, exc: Exception) -> CompletedJob:
+        """Quarantine one failing job (journaled, counted, returned)."""
+        error = f"{type(exc).__name__}: {exc}"
+        failed = CompletedJob(job=job, record=None, error=error)
+        self.quarantine.append(failed)
+        self.stats.failed += 1
+        if self._journal is not None:
+            self._journal.append(
+                JOB_FAILED,
+                {
+                    "job_id": job.job_id,
+                    "project": job.project,
+                    "sql": job.sql,
+                    "query_id": job.query_id,
+                    "error": error,
+                },
+            )
+        return failed
 
     def _refresh_usage(self) -> None:
         """Rebuild the per-model usage view from every pipeline's accounting.
@@ -198,3 +357,276 @@ class AnnotationService:
             aggregate = totals.setdefault(model, UsageStats(model_name=model))
             aggregate.merge(usage)
         self.stats.usage_by_model = totals
+
+    # ------------------------------------------------------------------
+    # durability: journaling, snapshots, recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self) -> EventJournal | None:
+        """The attached event journal, if the service is running durably."""
+        return self._journal
+
+    def attach_journal(
+        self,
+        journal: EventJournal,
+        snapshots: SnapshotManager | None = None,
+        snapshot_every: int = 0,
+    ) -> None:
+        """Start journaling every commit of this service (and its pipelines).
+
+        ``snapshot_every`` > 0 additionally writes a snapshot once that many
+        new journal records have accumulated since the last one (checked at
+        drain boundaries).  Attach only to a service whose current state is
+        already represented by the journal (fresh, or just recovered from
+        it) — otherwise replay would diverge.
+        """
+        self._journal = journal
+        self._snapshots = snapshots
+        self._snapshot_every = snapshot_every
+        if snapshots is not None:
+            covered = [
+                offset for offset in snapshots.offsets()
+                if offset <= journal.record_count
+            ]
+            self._last_snapshot_offset = max(covered, default=0)
+        else:
+            self._last_snapshot_offset = 0
+        for name, pipeline in self._pipelines.items():
+            pipeline.attach_journal(journal, project=name)
+
+    def snapshot(self) -> Path | None:
+        """Write a snapshot now (journal + snapshot store required)."""
+        return self.maybe_snapshot(force=True)
+
+    def maybe_snapshot(self, force: bool = False) -> Path | None:
+        """Write a snapshot when the cadence (or ``force``) says so."""
+        if self._journal is None or self._snapshots is None:
+            return None
+        offset = self._journal.record_count
+        due = (
+            self._snapshot_every > 0
+            and offset - self._last_snapshot_offset >= self._snapshot_every
+        )
+        if not (force or due):
+            return None
+        self._journal.commit()  # the snapshot must not lead the journal
+        path = self._snapshots.save(offset, self.capture_state())
+        self._last_snapshot_offset = offset
+        return path
+
+    def close(self) -> None:
+        """Flush and release the journal (idempotent; service stays usable
+        in-memory, but stops journaling)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        for pipeline in self._pipelines.values():
+            pipeline.attach_journal(None)
+
+    def capture_state(self, include_accounting: bool = True) -> dict:
+        """JSON-safe semantic state of the whole service.
+
+        With ``include_accounting=False`` the process-local counters (wave
+        stats, per-model usage) are excluded — that is the state that must be
+        bit-identical across crash/recover cycles, since a crashed process
+        cannot reproduce accounting for work whose drain never completed.
+        """
+        state = {
+            "default_project": self._default_project,
+            "next_job_id": self._next_job_id,
+            "queue": [asdict(job) for job in self._queue],
+            "quarantine": [
+                {"job": asdict(item.job), "error": item.error}
+                for item in self.quarantine
+            ],
+            "projects": {
+                name: capture_pipeline_state(pipeline)
+                for name, pipeline in self._pipelines.items()
+            },
+        }
+        if include_accounting:
+            state["stats"] = {
+                "submitted": self.stats.submitted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "waves": self.stats.waves,
+                "batched_queries": self.stats.batched_queries,
+                "regenerated_queries": self.stats.regenerated_queries,
+            }
+        return state
+
+    def restore_state(self, state: dict, llm_factory: LLMFactory | None = None) -> None:
+        """Replace this service's state with a snapshot's (warm start)."""
+        self._default_project = state["default_project"]
+        self._next_job_id = int(state["next_job_id"])
+        self._queue = [AnnotationJob(**job) for job in state["queue"]]
+        self.quarantine = [
+            CompletedJob(
+                job=AnnotationJob(**item["job"]), record=None, error=item["error"]
+            )
+            for item in state["quarantine"]
+        ]
+        self._pipelines = {}
+        for name, pipeline_state in state["projects"].items():
+            llm = llm_factory(name) if llm_factory is not None else None
+            self._pipelines[name] = restore_pipeline_state(name, pipeline_state, llm=llm)
+        self.stats = ServiceStats()
+        stats = state.get("stats")
+        if stats:
+            self.stats.submitted = int(stats["submitted"])
+            self.stats.completed = int(stats["completed"])
+            self.stats.failed = int(stats["failed"])
+            self.stats.waves = int(stats["waves"])
+            self.stats.batched_queries = int(stats["batched_queries"])
+            self.stats.regenerated_queries = int(stats["regenerated_queries"])
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str | Path,
+        snapshots: SnapshotManager | None = None,
+        default_project: str = "default",
+        fsync: str = "batch",
+        snapshot_every: int = 0,
+        llm_factory: LLMFactory | None = None,
+    ) -> "AnnotationService":
+        """Rebuild a service from its journal (and snapshots) and go live.
+
+        Opening the journal heals any torn tail first; when a snapshot store
+        is supplied, the newest intact snapshot at or below the journal's
+        valid prefix warm-starts the state and only the journal *suffix* is
+        replayed.  The returned service has the journal attached and is ready
+        for new submits/drains.  Works on a fresh (empty or absent) journal
+        too, so it doubles as the "open durable service" entry point.
+        """
+        journal = EventJournal(journal_path, fsync=fsync)
+        service = cls(default_project=default_project)
+        start = 0
+        if snapshots is not None:
+            loaded = snapshots.latest(max_offset=journal.record_count)
+            if loaded is not None:
+                start, snapshot_state = loaded
+                service.restore_state(snapshot_state, llm_factory=llm_factory)
+        for event in journal.events(start):
+            service._replay_event(event, llm_factory=llm_factory)
+        service.attach_journal(journal, snapshots=snapshots, snapshot_every=snapshot_every)
+        return service
+
+    @classmethod
+    def open_durable(
+        cls,
+        directory: str | Path,
+        default_project: str = "default",
+        fsync: str = "batch",
+        snapshot_every: int = 0,
+        keep_snapshots: int = 3,
+        llm_factory: LLMFactory | None = None,
+    ) -> "AnnotationService":
+        """Open (creating or recovering) a durable service rooted at a directory.
+
+        Layout: ``<directory>/journal.bin`` plus ``<directory>/snapshots/``.
+        """
+        directory = Path(directory)
+        snapshots = SnapshotManager(directory / "snapshots", keep=keep_snapshots)
+        return cls.recover(
+            directory / "journal.bin",
+            snapshots=snapshots,
+            default_project=default_project,
+            fsync=fsync,
+            snapshot_every=snapshot_every,
+            llm_factory=llm_factory,
+        )
+
+    def _replay_event(
+        self, event: JournalEvent, llm_factory: LLMFactory | None = None
+    ) -> None:
+        """Re-apply one journaled event to the in-memory state.
+
+        Replay never calls the LLM: committed annotations carry their record,
+        feedback and archived example verbatim, and re-applying them in
+        journal order reproduces the live state bit-for-bit (same example
+        ids, same embedding statistics, same feedback history/revision).
+        """
+        payload = event.payload
+        if event.type == PROJECT_REGISTERED:
+            name = payload["project"]
+            if name in self._pipelines:  # covered by the snapshot already
+                return
+            llm = llm_factory(name) if llm_factory is not None else None
+            self._pipelines[name] = AnnotationPipeline(
+                schema=schema_from_state(payload["schema"]),
+                config=TaskConfig.from_dict(payload["config"]),
+                llm=llm,
+                dataset_name=name,
+            )
+        elif event.type == JOB_SUBMITTED:
+            job = AnnotationJob(
+                job_id=payload["job_id"],
+                project=payload["project"],
+                sql=payload["sql"],
+                query_id=payload["query_id"],
+            )
+            self._queue.append(job)
+            self._next_job_id = max(self._next_job_id, job.job_id + 1)
+            self.stats.submitted += 1
+        elif event.type == ANNOTATION_COMMITTED:
+            pipeline = self._require_pipeline(payload["project"], event)
+            record_state = payload["record"]
+            # Reproduce the session-state mutation exactly as the live
+            # commit did: history, knowledge, priorities, revision.
+            pipeline.feedback_loop.apply(
+                list(record_state["candidates"]), Feedback.from_state(payload["feedback"])
+            )
+            pipeline._counter += 1
+            pipeline.annotations.append(AnnotationRecord(**record_state))
+            example = payload["example"]
+            if example is not None:
+                pipeline.retriever.example_store.add(
+                    example["sql"],
+                    example["nl"],
+                    dataset=example["dataset"],
+                    tables=list(example["tables"]),
+                    quality=example["quality"],
+                )
+            if payload["job_id"] is not None:
+                self._settle_job(payload["job_id"])
+                self.stats.completed += 1
+        elif event.type == FEEDBACK_APPLIED:
+            pipeline = self._require_pipeline(payload["project"], event)
+            pipeline.feedback_loop.apply(
+                list(payload["candidates"]), Feedback.from_state(payload["feedback"])
+            )
+        elif event.type == JOB_FAILED:
+            self._settle_job(payload["job_id"])
+            job = AnnotationJob(
+                job_id=payload["job_id"],
+                project=payload["project"],
+                sql=payload["sql"],
+                query_id=payload["query_id"],
+            )
+            self.quarantine.append(
+                CompletedJob(job=job, record=None, error=payload["error"])
+            )
+            self.stats.failed += 1
+        elif event.type == DRAIN_STATS:
+            self.stats.waves += payload["waves"]
+            self.stats.batched_queries += payload["batched_queries"]
+            self.stats.regenerated_queries += payload["regenerated_queries"]
+        else:
+            raise JournalError(
+                f"cannot replay unknown event type {event.type!r} "
+                f"at journal offset {event.offset}"
+            )
+
+    def _require_pipeline(self, name: str, event: JournalEvent) -> AnnotationPipeline:
+        if name not in self._pipelines:
+            raise JournalError(
+                f"journal offset {event.offset} references unregistered "
+                f"project {name!r}; the journal prefix is incomplete"
+            )
+        return self._pipelines[name]
+
+    def _settle_job(self, job_id: int) -> None:
+        """Drop a journal-settled job from the pending queue (idempotent)."""
+        self._queue = [job for job in self._queue if job.job_id != job_id]

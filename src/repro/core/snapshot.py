@@ -1,0 +1,220 @@
+"""Service snapshots — warm-start checkpoints over the event journal.
+
+A snapshot is the full semantic state of an :class:`~repro.core.service.
+AnnotationService` at a known journal offset: every project pipeline (its
+schema, config, annotations, feedback session and example archive — embedding
+vectors included, verbatim), the pending queue, quarantined jobs and the
+aggregate stats.  Recovery then loads the newest intact snapshot and replays
+only the journal *suffix*, instead of re-executing the whole history — the
+classic checkpoint + log-suffix scheme, and the reason warm start is a
+multiple faster than cold replay (no re-embedding, no re-application of old
+feedback).
+
+Snapshot files are JSON, written atomically (tmp file + fsync + rename) and
+checksummed, and :meth:`SnapshotManager.latest` skips unreadable or corrupt
+files — a damaged snapshot degrades recovery to an older snapshot (or a cold
+replay), never to a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.config import TaskConfig
+from repro.core.pipeline import AnnotationPipeline, AnnotationRecord
+from repro.errors import SnapshotError
+from repro.schema.model import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.base import LLMClient
+
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".json"
+
+
+# ----------------------------------------------------------------------
+# schema (de)serialisation
+# ----------------------------------------------------------------------
+
+def schema_to_state(schema: DatabaseSchema) -> dict:
+    """JSON-safe representation of a database schema."""
+    return asdict(schema)
+
+
+def schema_from_state(state: dict) -> DatabaseSchema:
+    """Rebuild a :class:`DatabaseSchema` from :func:`schema_to_state` output."""
+    return DatabaseSchema(
+        name=state["name"],
+        description=state.get("description", ""),
+        tables=[
+            TableSchema(
+                name=table["name"],
+                description=table.get("description", ""),
+                columns=[ColumnSchema(**column) for column in table.get("columns", [])],
+                foreign_keys=[
+                    ForeignKey(**foreign_key)
+                    for foreign_key in table.get("foreign_keys", [])
+                ],
+            )
+            for table in state.get("tables", [])
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# pipeline (de)serialisation
+# ----------------------------------------------------------------------
+
+def capture_pipeline_state(pipeline: AnnotationPipeline) -> dict:
+    """Full semantic state of one project pipeline.
+
+    Embedding vectors and IDF statistics are serialised verbatim (they were
+    produced under historical document-frequency tables and cannot be
+    recomputed from the text alone); restoring them is what makes a warm
+    start cheap.  Process-local caches (schema linking, skeletons) are
+    rebuilt lazily and deliberately excluded.
+    """
+    return {
+        "schema": schema_to_state(pipeline.schema),
+        "config": pipeline.config.to_dict(),
+        "counter": pipeline._counter,
+        "annotations": [asdict(record) for record in pipeline.annotations],
+        "feedback_loop": pipeline.feedback_loop.state_dict(),
+        "example_store": pipeline.retriever.example_store.state_dict(),
+    }
+
+
+def restore_pipeline_state(
+    name: str, state: dict, llm: "LLMClient | None" = None
+) -> AnnotationPipeline:
+    """Rebuild a project pipeline from :func:`capture_pipeline_state` output.
+
+    The LLM client is *not* part of the snapshot (it is an external process
+    resource); pass ``llm`` to reattach a custom client, otherwise the
+    pipeline constructs its default simulated client from the restored
+    config.  Either way the client sees the restored knowledge base, because
+    :meth:`FeedbackLoop.load_state` mutates the shared instance in place.
+    """
+    pipeline = AnnotationPipeline(
+        schema=schema_from_state(state["schema"]),
+        config=TaskConfig.from_dict(state["config"]),
+        llm=llm,
+        dataset_name=name,
+    )
+    pipeline.feedback_loop.load_state(state["feedback_loop"])
+    pipeline.retriever.example_store.load_state(state["example_store"])
+    pipeline.annotations = [
+        AnnotationRecord(**record) for record in state["annotations"]
+    ]
+    pipeline._counter = int(state["counter"])
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# snapshot files
+# ----------------------------------------------------------------------
+
+class SnapshotManager:
+    """Writes, prunes and loads checksummed snapshot files.
+
+    Files are named ``snapshot-<offset>.json`` where ``<offset>`` is the
+    journal record count the snapshot covers; recovery replays the journal
+    from that offset.  Only the newest ``keep`` snapshots are retained.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise SnapshotError("must keep at least one snapshot")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def path_for(self, offset: int) -> Path:
+        """The snapshot file covering journal offset ``offset``."""
+        return self.directory / f"{_SNAPSHOT_PREFIX}{offset:010d}{_SNAPSHOT_SUFFIX}"
+
+    def offsets(self) -> list[int]:
+        """Journal offsets of every snapshot on disk, ascending."""
+        found = []
+        for path in self.directory.glob(f"{_SNAPSHOT_PREFIX}*{_SNAPSHOT_SUFFIX}"):
+            stem = path.name[len(_SNAPSHOT_PREFIX) : -len(_SNAPSHOT_SUFFIX)]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    def save(self, offset: int, state: dict) -> Path:
+        """Atomically persist ``state`` as the snapshot at journal ``offset``.
+
+        The state JSON is checksummed and written to a temporary file that is
+        fsynced before being renamed into place, so a crash mid-save leaves
+        either the old snapshot set or the new one — never a half file under
+        the final name.
+        """
+        if offset < 0:
+            raise SnapshotError("snapshot offset cannot be negative")
+        try:
+            state_json = json.dumps(state, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(f"snapshot state is not JSON-serialisable: {exc}") from exc
+        document = json.dumps(
+            {
+                "offset": offset,
+                "crc32": zlib.crc32(state_json.encode("utf-8")) & 0xFFFFFFFF,
+                "state_json": state_json,
+            }
+        )
+        path = self.path_for(offset)
+        tmp_path = path.with_suffix(".tmp")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(document)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            raise SnapshotError(f"failed to write snapshot {path}: {exc}") from exc
+        self._prune()
+        return path
+
+    def load(self, offset: int) -> dict:
+        """Load and verify the snapshot at ``offset``."""
+        state = self._try_load(self.path_for(offset))
+        if state is None:
+            raise SnapshotError(f"snapshot at offset {offset} is missing or corrupt")
+        return state
+
+    def latest(self, max_offset: int | None = None) -> tuple[int, dict] | None:
+        """The newest intact snapshot (optionally at/below ``max_offset``).
+
+        Corrupt or unreadable snapshot files are skipped, falling back to the
+        next-older one; returns ``None`` when no usable snapshot exists.
+        """
+        for offset in reversed(self.offsets()):
+            if max_offset is not None and offset > max_offset:
+                continue
+            state = self._try_load(self.path_for(offset))
+            if state is not None:
+                return offset, state
+        return None
+
+    def _try_load(self, path: Path) -> dict | None:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            state_json = document["state_json"]
+            if zlib.crc32(state_json.encode("utf-8")) & 0xFFFFFFFF != document["crc32"]:
+                return None
+            return json.loads(state_json)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _prune(self) -> None:
+        for offset in self.offsets()[: -self.keep]:
+            try:
+                self.path_for(offset).unlink()
+            except OSError:  # pragma: no cover - best-effort housekeeping
+                pass

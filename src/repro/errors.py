@@ -66,6 +66,19 @@ class LLMError(ReproError):
     """Raised by the simulated LLM subsystem."""
 
 
+class TransientLLMError(LLMError):
+    """A retryable LLM failure (rate limit, flaky network, 5xx-style error).
+
+    Retry machinery treats this class — and any exception with a truthy
+    ``transient`` attribute — as safe to retry with backoff; everything else
+    fails fast.
+    """
+
+
+class LLMTimeoutError(TransientLLMError):
+    """An LLM call exceeded its per-call timeout budget."""
+
+
 class PipelineError(ReproError):
     """Raised by the BenchPress annotation pipeline orchestration."""
 
@@ -92,3 +105,11 @@ class MetricError(ReproError):
 
 class ExportError(ReproError):
     """Raised when exporting annotations to benchmark format fails."""
+
+
+class JournalError(ReproError):
+    """Raised by the durability event journal (I/O, format, replay errors)."""
+
+
+class SnapshotError(ReproError):
+    """Raised when a service snapshot cannot be written or restored."""

@@ -5,8 +5,10 @@ from repro.llm.base import (
     LLMClient,
     MODEL_PROFILES,
     ModelProfile,
+    RetryPolicy,
     UsageStats,
     get_profile,
+    is_transient_error,
 )
 from repro.llm.knowledge import FailurePattern, KnowledgeBase, KnowledgeEntry
 from repro.llm.nl2sql import BacktranslationResult, NLToSQLGenerator
@@ -39,6 +41,7 @@ __all__ = [
     "Prompt",
     "PromptBuilder",
     "QueryFact",
+    "RetryPolicy",
     "SimulatedLLM",
     "UsageStats",
     "describe_query",
@@ -46,6 +49,7 @@ __all__ = [
     "fact_coverage",
     "get_profile",
     "humanize",
+    "is_transient_error",
     "render_facts",
     "select_facts",
 ]

@@ -10,9 +10,71 @@ behaviour is parameterised per model profile.
 from __future__ import annotations
 
 import abc
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
+from repro.errors import LLMTimeoutError, TransientLLMError
 from repro.llm.prompts import Prompt
+
+_T = TypeVar("_T")
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    """Classify an LLM-call failure as retryable or terminal.
+
+    Transient: explicit :class:`~repro.errors.TransientLLMError` (and its
+    timeout subclass), OS-level connection/timeout failures, and any exception
+    carrying a truthy ``transient`` attribute (the escape hatch for backend
+    SDK exception types the library does not know about).  Everything else —
+    bad prompts, parse errors, programming bugs — fails fast.
+    """
+    if isinstance(exc, (TransientLLMError, ConnectionError, TimeoutError)):
+        return True
+    return bool(getattr(exc, "transient", False))
+
+
+def _stable_unit(*parts: object) -> float:
+    """Deterministic pseudo-random number in [0, 1) derived from the inputs."""
+    digest = hashlib.blake2b(
+        "|".join(str(part) for part in parts).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered-exponential retry/backoff/timeout discipline for LLM calls.
+
+    Attributes:
+        max_attempts: Total attempts per call (1 disables retries).
+        base_delay: Backoff before the first retry, in seconds.
+        max_delay: Ceiling on the exponential backoff.
+        jitter: Fraction of each delay randomised away (0..1).  Jitter is
+            *deterministic* given (salt, attempt) so reruns of the same
+            workload back off identically — the same reproducibility contract
+            as the simulated LLM itself.
+        call_timeout: Per-call wall-clock budget in seconds (``None`` = no
+            limit).  Timeouts are enforced by running the call on a worker
+            thread; an abandoned call may still run to completion in the
+            background, but the caller regains control at the deadline.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    call_timeout: float | None = None
+
+    def delay(self, attempt: int, salt: str = "") -> float:
+        """Backoff before retry ``attempt`` (0-based), jitter applied."""
+        raw = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * _stable_unit("retry", salt, attempt))
 
 
 @dataclass
@@ -136,6 +198,65 @@ class LLMClient(abc.ABC):
         results = [self.generate(prompt) for prompt in prompts]
         self.usage.batches += 1
         return results
+
+    # ------------------------------------------------------------------
+    # resilience wrappers
+    # ------------------------------------------------------------------
+
+    def generate_with_retry(
+        self, prompt: Prompt, policy: RetryPolicy | None = None
+    ) -> GenerationResult:
+        """:meth:`generate` hardened with retry/backoff/timeout.
+
+        Transient failures (see :func:`is_transient_error`) are retried up to
+        ``policy.max_attempts`` times with jittered exponential backoff;
+        terminal errors and exhausted retries propagate.  With no policy this
+        is exactly :meth:`generate`.
+        """
+        return self._resilient_call(lambda: self.generate(prompt), policy, salt=prompt.sql)
+
+    def generate_batch_with_retry(
+        self, prompts: list[Prompt], policy: RetryPolicy | None = None
+    ) -> list[GenerationResult]:
+        """:meth:`generate_batch` hardened with retry/backoff/timeout."""
+        salt = prompts[0].sql if prompts else ""
+        return self._resilient_call(
+            lambda: self.generate_batch(prompts), policy, salt=f"batch:{len(prompts)}:{salt}"
+        )
+
+    def _resilient_call(
+        self, call: Callable[[], _T], policy: RetryPolicy | None, salt: str
+    ) -> _T:
+        if policy is None:
+            return call()
+        for attempt in range(policy.max_attempts):
+            try:
+                return self._call_with_timeout(call, policy.call_timeout)
+            except Exception as exc:
+                if not is_transient_error(exc) or attempt + 1 >= policy.max_attempts:
+                    raise
+                delay = policy.delay(attempt, salt)
+                if delay > 0:
+                    time.sleep(delay)
+        raise AssertionError("unreachable: retry loop returns or raises")
+
+    def _call_with_timeout(self, call: Callable[[], _T], timeout: float | None) -> _T:
+        if timeout is None:
+            return call()
+        executor = getattr(self, "_timeout_executor", None)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"{self.name}-llm-timeout"
+            )
+            self._timeout_executor = executor
+        future = executor.submit(call)
+        try:
+            return future.result(timeout)
+        except _FutureTimeout:
+            future.cancel()
+            raise LLMTimeoutError(
+                f"LLM call on {self.name!r} exceeded its {timeout:.3f}s budget"
+            ) from None
 
     @abc.abstractmethod
     def backtranslate(self, description: str, schema_text: str = "") -> str | None:

@@ -102,6 +102,42 @@ class KnowledgeBase:
         )
         return "\n".join(lines)
 
+    def state_dict(self) -> dict:
+        """JSON-safe state of the knowledge base (snapshot support)."""
+        return {
+            "entries": [
+                {
+                    "term": entry.term,
+                    "explanation": entry.explanation,
+                    "source": entry.source,
+                    "uses": entry.uses,
+                }
+                for entry in self._entries
+            ],
+            "failure_patterns": [
+                {"description": pattern.description, "guidance": pattern.guidance}
+                for pattern in self._failure_patterns
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshotted knowledge base in place."""
+        self._entries = [
+            KnowledgeEntry(
+                term=entry["term"],
+                explanation=entry["explanation"],
+                source=entry.get("source", "annotator"),
+                uses=entry.get("uses", 0),
+            )
+            for entry in state["entries"]
+        ]
+        self._failure_patterns = [
+            FailurePattern(
+                description=pattern["description"], guidance=pattern["guidance"]
+            )
+            for pattern in state["failure_patterns"]
+        ]
+
     def coverage(self, text: str) -> float:
         """Fraction of domain-specific tokens in ``text`` explained by the KB.
 

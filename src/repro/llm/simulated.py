@@ -16,10 +16,15 @@ any external API.
 
 from __future__ import annotations
 
-import hashlib
 import time
 
-from repro.llm.base import GenerationResult, LLMClient, ModelProfile, get_profile
+from repro.llm.base import (
+    GenerationResult,
+    LLMClient,
+    ModelProfile,
+    _stable_unit,
+    get_profile,
+)
 from repro.llm.knowledge import KnowledgeBase
 from repro.llm.nl2sql import NLToSQLGenerator
 from repro.llm.prompts import Prompt
@@ -30,14 +35,6 @@ from repro.sql.printer import print_select
 from repro.schema.model import DatabaseSchema
 from repro.sql.analyzer import analyze_query
 from repro.sql.parser import parse_select
-
-
-def _stable_unit(*parts: object) -> float:
-    """Deterministic pseudo-random number in [0, 1) derived from the inputs."""
-    digest = hashlib.blake2b(
-        "|".join(str(part) for part in parts).encode("utf-8"), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little") / 2**64
 
 
 class SimulatedLLM(LLMClient):

@@ -138,6 +138,47 @@ class EmbeddingModel:
         }
 
     # ------------------------------------------------------------------
+    # durability (snapshot) support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe semantic state: IDF table + vocabulary, no caches.
+
+        Feature hashing (vector index, sign) is deterministic per feature
+        string, and feature *ids* are an internal allocation detail: features
+        get interned lazily whenever a query is merely embedded, yet only
+        :meth:`observe` gives them a document frequency.  So the canonical
+        state is the document-bearing features with their frequencies, in
+        sorted order — two models that saw different query traffic but the
+        same documents serialise identically.
+        """
+        entries = sorted(
+            (feature, float(self._frequencies[meta[0]]))
+            for feature, meta in self._feature_meta.items()
+            if self._frequencies[meta[0]] > 0
+        )
+        return {
+            "dimensions": self.dimensions,
+            "use_ngrams": self.use_ngrams,
+            "document_count": self._document_count,
+            "features": [feature for feature, _ in entries],
+            "frequencies": [frequency for _, frequency in entries],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EmbeddingModel":
+        """Rebuild a model whose future embeddings match the snapshotted one."""
+        model = cls(
+            dimensions=int(state["dimensions"]), use_ngrams=bool(state["use_ngrams"])
+        )
+        model._document_count = int(state["document_count"])
+        for feature in state["features"]:
+            model._intern(feature)  # re-derives (id, index, sign); grows the DF table
+        frequencies = state["frequencies"]
+        model._frequencies[: len(frequencies)] = frequencies
+        return model
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 

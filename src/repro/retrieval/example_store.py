@@ -9,7 +9,7 @@ benchmark when warm-starting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.errors import RetrievalError
 from repro.retrieval.cache import LruDict
@@ -186,3 +186,52 @@ class ExampleStore:
         for sql, nl in pairs:
             self.add(sql, nl, dataset=dataset)
         return len(pairs)
+
+    # ------------------------------------------------------------------
+    # durability (snapshot) support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe semantic state (examples + vector index, no caches).
+
+        Query skeletons ride along even though they are a pure function of
+        the SQL text: re-deriving them means re-tokenising every stored
+        example, which would eat most of the warm-start budget.
+        """
+        return {
+            "counter": self._counter,
+            "version": self.version,
+            "examples": [asdict(example) for example in self._examples.values()],
+            "skeletons": dict(self._skeletons),
+            "vector_store": self._store.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshotted store in place.
+
+        Skeletons, embedding vectors and IDF state all come from the
+        snapshot, so neither re-tokenisation nor re-embedding happens —
+        that is what makes warm start fast.  Snapshots from before skeletons
+        were serialised fall back to recomputing them.
+        """
+        self._store = VectorStore.from_state(state["vector_store"])
+        skeletons = state.get("skeletons") or {}
+        self._examples = {}
+        self._skeletons = {}
+        self._query_skeletons = LruDict(2048)
+        for entry in state["examples"]:
+            example = AnnotatedExample(
+                example_id=entry["example_id"],
+                sql=entry["sql"],
+                nl=entry["nl"],
+                dataset=entry.get("dataset", ""),
+                tables=list(entry.get("tables", [])),
+                quality=entry.get("quality", 1.0),
+            )
+            self._examples[example.example_id] = example
+            skeleton = skeletons.get(example.example_id)
+            if skeleton is None:
+                skeleton = self._query_skeleton(example.sql)
+            self._skeletons[example.example_id] = skeleton
+        self._counter = int(state["counter"])
+        self.version = int(state["version"])

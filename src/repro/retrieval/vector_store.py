@@ -205,6 +205,43 @@ class VectorStore:
         return list(self._entries.keys())
 
     # ------------------------------------------------------------------
+    # durability (snapshot) support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe semantic state of the store.
+
+        Each entry's *stored* vector is serialised verbatim: vectors are
+        embedded under the IDF table as it stood when the document was added,
+        so they cannot be recomputed from text after later additions.  Row
+        layout (tombstones, capacity) is not semantic and is rebuilt compact.
+        """
+        return {
+            "model": self._model.state_dict(),
+            "entries": [
+                {
+                    "doc_id": entry.doc_id,
+                    "text": entry.text,
+                    "vector": entry.vector.tolist(),
+                    "metadata": dict(entry.metadata),
+                }
+                for entry in self._entries.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VectorStore":
+        """Rebuild a store that searches bit-identically to the snapshotted one."""
+        store = cls(EmbeddingModel.from_state(state["model"]))
+        for entry in state["entries"]:
+            vector = np.asarray(entry["vector"], dtype=np.float64)
+            vector.setflags(write=False)
+            # _store_entry skips observe(): document frequencies were already
+            # restored with the model, and these vectors are historical.
+            store._store_entry(entry["doc_id"], entry["text"], vector, entry["metadata"])
+        return store
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 

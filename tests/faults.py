@@ -1,0 +1,153 @@
+"""Fault-injection helpers for the durability test-suite and benchmarks.
+
+These simulate the failure modes the durable service must survive:
+
+* :class:`InjectedCrash` — sudden process death.  Deliberately a
+  ``BaseException`` subclass so the service's fault-*isolation* machinery
+  (which catches ``Exception`` to quarantine bad jobs) can never swallow a
+  simulated crash: a crash kills the process, full stop.
+* :class:`CrashingJournal` — an :class:`~repro.core.journal.EventJournal`
+  that dies at a chosen append, either *at the commit boundary* (the record
+  never reaches the file) or *mid-write* (a torn prefix of the record's bytes
+  lands on disk — the exact case the length+CRC framing must detect).
+* :class:`FlakyLLM` / :class:`SlowLLM` — wrappers over a real client that
+  inject transient failures and latency, for exercising the retry/backoff/
+  timeout discipline in :mod:`repro.llm.base`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from pathlib import Path
+
+from repro.core.journal import _HEADER, EventJournal
+from repro.errors import TransientLLMError
+from repro.llm.base import GenerationResult, LLMClient
+from repro.llm.prompts import Prompt
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at an injected fault point.
+
+    BaseException (not Exception) on purpose: generic error isolation must
+    not be able to catch it, just as no ``except Exception`` survives a
+    ``kill -9``.
+    """
+
+
+def encode_record(event_type: str, payload: dict) -> bytes:
+    """The exact on-disk bytes :meth:`EventJournal.append` would write."""
+    data = json.dumps(
+        {"type": event_type, "payload": payload}, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
+
+
+class CrashingJournal(EventJournal):
+    """Journal that raises :class:`InjectedCrash` at append ``crash_after``.
+
+    ``crash_after`` counts appends 1-based: ``crash_after=3`` means appends
+    1 and 2 succeed and append 3 dies.  With ``torn_bytes`` set, the dying
+    append first writes that many bytes of the record (a torn tail) before
+    "the process dies" — modelling a crash mid-``write``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "batch",
+        crash_after: int | None = None,
+        torn_bytes: int | None = None,
+    ) -> None:
+        super().__init__(path, fsync=fsync)
+        self.crash_after = crash_after
+        self.torn_bytes = torn_bytes
+        self.appends_attempted = 0
+
+    def append(self, event_type: str, payload: dict) -> int:
+        self.appends_attempted += 1
+        if self.crash_after is not None and self.appends_attempted >= self.crash_after:
+            if self.torn_bytes is not None:
+                record = encode_record(event_type, payload)
+                self._handle.write(record[: self.torn_bytes])
+                self._handle.flush()
+            raise InjectedCrash(
+                f"injected crash at append #{self.appends_attempted} "
+                f"({event_type}, torn_bytes={self.torn_bytes})"
+            )
+        offset = super().append(event_type, payload)
+        # Write through after every surviving append.  Group commit buffers
+        # appends in userspace, so a real crash loses everything since the
+        # last commit — always legal, but it would make every clean-crash
+        # sweep recover from an *empty* prefix.  Flushing here pins the
+        # richest durable prefix the scanner can ever face, so the sweep
+        # exercises recovery at every record boundary.
+        self._handle.flush()
+        return offset
+
+
+class FlakyLLM(LLMClient):
+    """Wrapper that fails the first ``fail_times`` calls, then delegates.
+
+    Failures are transient (:class:`~repro.errors.TransientLLMError`) by
+    default; pass ``error_factory`` to inject terminal errors instead.
+    ``generate`` and ``generate_batch`` share one failure budget, matching a
+    backend outage that hits whichever endpoint is called next.
+    """
+
+    def __init__(self, inner: LLMClient, fail_times: int = 1, error_factory=None) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.fail_times = fail_times
+        self.error_factory = error_factory or (
+            lambda n: TransientLLMError(f"injected transient failure #{n}")
+        )
+        self.calls = 0
+        self.failures_injected = 0
+
+    @property
+    def example_content_sensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.example_content_sensitive
+
+    def _maybe_fail(self) -> None:
+        self.calls += 1
+        if self.failures_injected < self.fail_times:
+            self.failures_injected += 1
+            raise self.error_factory(self.failures_injected)
+
+    def generate(self, prompt: Prompt) -> GenerationResult:
+        self._maybe_fail()
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts: list[Prompt]) -> list[GenerationResult]:
+        self._maybe_fail()
+        return self.inner.generate_batch(prompts)
+
+    def backtranslate(self, description: str, schema_text: str = "") -> str | None:
+        return self.inner.backtranslate(description, schema_text)
+
+
+class SlowLLM(LLMClient):
+    """Wrapper that sleeps before every call — for timeout-budget tests."""
+
+    def __init__(self, inner: LLMClient, delay_seconds: float) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.delay_seconds = delay_seconds
+
+    @property
+    def example_content_sensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.example_content_sensitive
+
+    def generate(self, prompt: Prompt) -> GenerationResult:
+        time.sleep(self.delay_seconds)
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts: list[Prompt]) -> list[GenerationResult]:
+        time.sleep(self.delay_seconds)
+        return self.inner.generate_batch(prompts)
+
+    def backtranslate(self, description: str, schema_text: str = "") -> str | None:
+        return self.inner.backtranslate(description, schema_text)

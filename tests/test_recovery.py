@@ -1,0 +1,530 @@
+"""Durability tests: journal format, torn tails, replay parity, snapshots,
+and the crash-point sweep (kill the service at every commit boundary and
+mid-write, recover, and check the state is exactly the journaled prefix)."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    AnnotationService,
+    EventJournal,
+    Feedback,
+    FeedbackAction,
+    SnapshotManager,
+    TaskConfig,
+    annotations_at_offset,
+    export_at_offset,
+)
+from repro.core.journal import (
+    ANNOTATION_COMMITTED,
+    DRAIN_STATS,
+    JOB_SUBMITTED,
+    PROJECT_REGISTERED,
+    JournalRecovery,
+)
+from repro.errors import JournalError, SnapshotError
+from repro.schema import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
+
+from tests.faults import CrashingJournal, InjectedCrash, encode_record
+
+QUERIES = [
+    "SELECT name FROM employees",
+    "SELECT e.name, d.dept_name FROM employees e JOIN departments d ON e.dept_id = d.dept_id",
+    "SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id",
+    "SELECT name FROM employees WHERE salary > 100000",
+    "SELECT name FROM employees WHERE dept_id IN "
+    "(SELECT dept_id FROM departments WHERE budget > 250000)",
+]
+
+
+def make_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        name="hr",
+        tables=[
+            TableSchema(
+                name="employees",
+                columns=[
+                    ColumnSchema("emp_id", "INT", primary_key=True, nullable=False),
+                    ColumnSchema("name", "TEXT"),
+                    ColumnSchema("salary", "REAL"),
+                    ColumnSchema("dept_id", "INT"),
+                ],
+                foreign_keys=[ForeignKey("dept_id", "departments", "dept_id")],
+            ),
+            TableSchema(
+                name="departments",
+                columns=[
+                    ColumnSchema("dept_id", "INT", primary_key=True, nullable=False),
+                    ColumnSchema("dept_name", "TEXT"),
+                    ColumnSchema("budget", "REAL"),
+                ],
+            ),
+        ],
+    )
+
+
+def semantic_state(service: AnnotationService) -> dict:
+    """The state that must survive any crash/recover cycle bit-for-bit."""
+    return service.capture_state(include_accounting=False)
+
+
+def record_boundaries(buffer: bytes) -> list[tuple[int, int]]:
+    """(start, end) byte ranges of every complete record in a journal image."""
+    header = struct.Struct("<II")
+    boundaries = []
+    position = 0
+    while position + header.size <= len(buffer):
+        length, _ = header.unpack_from(buffer, position)
+        end = position + header.size + length
+        if end > len(buffer):
+            break
+        boundaries.append((position, end))
+        position = end
+    return boundaries
+
+
+# ----------------------------------------------------------------------
+# journal format
+# ----------------------------------------------------------------------
+
+class TestJournalFormat:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        with EventJournal(path) as journal:
+            assert journal.append("alpha", {"x": 1}) == 0
+            assert journal.append("beta", {"y": [1, 2, 3]}) == 1
+            assert journal.record_count == 2
+        events = EventJournal.read_events(path)
+        assert [(e.offset, e.type, e.payload) for e in events] == [
+            (0, "alpha", {"x": 1}),
+            (1, "beta", {"y": [1, 2, 3]}),
+        ]
+
+    def test_reopen_continues_offsets(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        with EventJournal(path) as journal:
+            journal.append("alpha", {})
+        with EventJournal(path) as journal:
+            assert journal.record_count == 1
+            assert journal.append("beta", {}) == 1
+        assert len(EventJournal.read_events(path)) == 2
+
+    def test_read_limit_is_offset_cut(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        with EventJournal(path) as journal:
+            for index in range(5):
+                journal.append("tick", {"index": index})
+        assert [e.payload["index"] for e in EventJournal.read_events(path, limit=3)] == [0, 1, 2]
+        with pytest.raises(JournalError):
+            EventJournal.read_events(path, limit=-1)
+
+    def test_scan_missing_file_is_empty(self, tmp_path):
+        recovery = EventJournal.scan(tmp_path / "absent.bin")
+        assert recovery == JournalRecovery()
+        assert not recovery.torn
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = EventJournal(tmp_path / "journal.bin")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError):
+            journal.append("alpha", {})
+
+    def test_unserialisable_payload_is_journal_error(self, tmp_path):
+        with EventJournal(tmp_path / "journal.bin") as journal:
+            with pytest.raises(JournalError):
+                journal.append("alpha", {"bad": object()})
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            EventJournal(tmp_path / "journal.bin", fsync="sometimes")
+
+    def test_valid_crc_but_garbage_json_is_torn(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        with EventJournal(path) as journal:
+            journal.append("alpha", {"x": 1})
+        payload = b"certainly not json"
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        with open(path, "ab") as handle:
+            handle.write(frame + payload)
+        recovery = EventJournal.scan(path)
+        assert recovery.record_count == 1
+        assert recovery.torn
+
+
+# ----------------------------------------------------------------------
+# torn-tail property tests
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def torn_image(tmp_path_factory) -> bytes:
+    """Bytes of a real service journal whose *last* record is a commit.
+
+    Layout: project_registered, job_submitted, annotation_committed,
+    drain_stats, annotation_committed — so tearing the tail destroys a
+    semantically meaningful record, not just accounting.
+    """
+    root = tmp_path_factory.mktemp("torn-image")
+    service = AnnotationService.open_durable(root / "svc")
+    service.register_project("hr", make_schema())
+    service.submit(QUERIES[0], project="hr")
+    service.drain()
+    service.pipeline("hr").annotate(QUERIES[1])
+    service.close()
+    return (root / "svc" / "journal.bin").read_bytes()
+
+
+class TestTornTail:
+    def test_every_byte_truncation_keeps_the_full_record_prefix(self, torn_image, tmp_path):
+        boundaries = record_boundaries(torn_image)
+        assert len(boundaries) == 5
+        path = tmp_path / "torn.bin"
+        for cut in range(len(torn_image) + 1):
+            path.write_bytes(torn_image[:cut])
+            recovery = EventJournal.scan(path)
+            expected = sum(1 for _, end in boundaries if end <= cut)
+            assert recovery.record_count == expected, f"cut at byte {cut}"
+            assert recovery.valid_bytes == (
+                boundaries[expected - 1][1] if expected else 0
+            )
+            assert recovery.torn == (cut != recovery.valid_bytes)
+
+    def test_recovery_at_every_byte_of_last_record_is_exact_prefix_state(
+        self, torn_image, tmp_path
+    ):
+        boundaries = record_boundaries(torn_image)
+        start_last, end_last = boundaries[-1]
+        assert end_last == len(torn_image)
+
+        def recovered_state(image: bytes, name: str) -> dict:
+            directory = tmp_path / name
+            directory.mkdir()
+            (directory / "journal.bin").write_bytes(image)
+            service = AnnotationService.recover(directory / "journal.bin")
+            state = semantic_state(service)
+            service.close()
+            return state
+
+        full_state = recovered_state(torn_image, "full")
+        prefix_state = recovered_state(torn_image[:start_last], "prefix")
+        assert full_state != prefix_state  # the last record must matter
+
+        for cut in range(start_last, end_last):
+            directory = tmp_path / f"cut-{cut}"
+            directory.mkdir()
+            path = directory / "journal.bin"
+            path.write_bytes(torn_image[:cut])
+            service = AnnotationService.recover(path)
+            assert service.journal.recovery.torn == (cut != start_last)
+            assert semantic_state(service) == prefix_state, f"cut at byte {cut}"
+            service.close()
+            # the torn tail was truncated away on open
+            assert len(path.read_bytes()) == start_last
+
+    def test_bit_flip_in_last_record_drops_only_that_record(self, torn_image, tmp_path):
+        boundaries = record_boundaries(torn_image)
+        start_last, end_last = boundaries[-1]
+        path = tmp_path / "flipped.bin"
+        for position in range(start_last, end_last):
+            corrupted = bytearray(torn_image)
+            corrupted[position] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+            recovery = EventJournal.scan(path)
+            assert recovery.record_count == len(boundaries) - 1, f"flip at byte {position}"
+            assert recovery.torn
+
+    def test_healed_journal_accepts_new_appends(self, torn_image, tmp_path):
+        boundaries = record_boundaries(torn_image)
+        path = tmp_path / "journal.bin"
+        path.write_bytes(torn_image[:-3])  # tear the tail
+        with EventJournal(path) as journal:
+            assert journal.recovery.torn
+            assert journal.record_count == len(boundaries) - 1
+            journal.append("epilogue", {"healed": True})
+        events = EventJournal.read_events(path)
+        assert events[-1].type == "epilogue"
+        assert len(events) == len(boundaries)
+
+
+# ----------------------------------------------------------------------
+# replay parity
+# ----------------------------------------------------------------------
+
+class TestReplayParity:
+    def test_cold_replay_matches_live_state(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES, project="hr")
+        service.drain()
+        service.submit(QUERIES[0], project="hr")  # leave one job pending
+        live = semantic_state(service)
+        assert live["queue"]  # the pending job must survive recovery
+        service.close()
+
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(recovered) == live
+        recovered.close()
+
+    def test_multi_project_and_feedback_history_replay(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.register_project(
+            "hr-fast",
+            make_schema(),
+            config=TaskConfig(model_name="gpt-3.5-turbo", num_candidates=2),
+        )
+        service.submit_many(QUERIES[:3], project="hr")
+        service.submit_many(QUERIES[2:], project="hr-fast")
+        service.drain()
+
+        # Interactive feedback straight on a project pipeline: a regeneration
+        # round (journaled as feedback_applied), an edit, and a discard.
+        pipeline = service.pipeline("hr")
+        candidates = pipeline.generate_candidates(QUERIES[3])
+        assert (
+            pipeline.submit_feedback(
+                candidates,
+                Feedback(
+                    action=FeedbackAction.REGENERATE,
+                    new_priorities=["mention the salary threshold"],
+                    knowledge=[("dept", "short for department")],
+                ),
+            )
+            is None
+        )
+        candidates = pipeline.generate_candidates(QUERIES[3])
+        edited = pipeline.submit_feedback(
+            candidates,
+            Feedback(action=FeedbackAction.EDIT, edited_text="High earners by name."),
+        )
+        assert edited is not None and edited.accepted
+        discarded = pipeline.submit_feedback(
+            pipeline.generate_candidates(QUERIES[0]),
+            Feedback(action=FeedbackAction.DISCARD),
+        )
+        assert discarded is not None and not discarded.accepted
+
+        live = semantic_state(service)
+        service.close()
+
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(recovered) == live
+        loop = recovered.pipeline("hr").feedback_loop
+        assert loop.priorities == ["mention the salary threshold"]
+        assert loop.knowledge.lookup("dept") is not None
+        recovered.close()
+
+    def test_recovered_service_keeps_working(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES[:2], project="hr")
+        service.drain()
+        service.close()
+
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        recovered.submit_many(QUERIES[2:], project="hr")
+        completed = recovered.drain()
+        assert len(completed) == 3
+        assert recovered.stats.completed == 5
+        live = semantic_state(recovered)
+        recovered.close()
+
+        # ... and the continued journal still replays to the same place.
+        third = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(third) == live
+        assert third.stats.completed == 5  # drain_stats + commits replayed
+        third.close()
+
+    def test_export_at_offset_reproduces_history(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES, project="hr")
+        service.drain()
+        live_records = list(service.pipeline("hr").annotations)
+        service.close()
+
+        journal_path = tmp_path / "svc" / "journal.bin"
+        events = EventJournal.read_events(journal_path)
+        commit_offsets = [
+            event.offset for event in events if event.type == ANNOTATION_COMMITTED
+        ]
+        assert len(commit_offsets) == len(QUERIES)
+
+        # Full-journal export equals the live record set.
+        assert annotations_at_offset(journal_path) == live_records
+        # At the offset just after the k-th commit, exactly k records exist.
+        for index, offset in enumerate(commit_offsets, start=1):
+            records = annotations_at_offset(journal_path, offset=offset + 1)
+            assert records == live_records[:index]
+
+        first = export_at_offset(journal_path, tmp_path / "a.json", offset=commit_offsets[2] + 1)
+        second = export_at_offset(journal_path, tmp_path / "b.json", offset=commit_offsets[2] + 1)
+        assert first.read_bytes() == second.read_bytes()
+        assert len(json.loads(first.read_text())) == 3
+
+
+# ----------------------------------------------------------------------
+# snapshots and warm start
+# ----------------------------------------------------------------------
+
+class TestSnapshots:
+    def test_manager_round_trip_prune_and_corrupt_skip(self, tmp_path):
+        manager = SnapshotManager(tmp_path / "snaps", keep=2)
+        for offset in (5, 9, 12):
+            manager.save(offset, {"offset": offset, "data": [offset]})
+        assert manager.offsets() == [9, 12]  # keep=2 pruned offset 5
+        assert manager.load(12)["data"] == [12]
+
+        # Corrupt the newest snapshot: latest() must fall back to the older one.
+        manager.path_for(12).write_text("{corrupt", encoding="utf-8")
+        offset, state = manager.latest()
+        assert offset == 9 and state["data"] == [9]
+
+        # max_offset caps which snapshots qualify.
+        assert manager.latest(max_offset=8) is None
+        with pytest.raises(SnapshotError):
+            manager.load(12)
+        with pytest.raises(SnapshotError):
+            SnapshotManager(tmp_path / "other", keep=0)
+
+    def test_warm_start_from_snapshot_matches_cold_replay(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc", snapshot_every=4)
+        service.register_project("hr", make_schema())
+        for sql in QUERIES:
+            service.submit(sql, project="hr")
+            service.drain()
+        live = semantic_state(service)
+        service.close()
+
+        snapshots = SnapshotManager(tmp_path / "svc" / "snapshots")
+        latest = snapshots.latest()
+        assert latest is not None and latest[0] > 0
+
+        # Warm start (snapshot + suffix replay).
+        warm = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(warm) == live
+        warm.close()
+
+        # Cold replay of the same journal must land in the same state.
+        cold = AnnotationService.recover(tmp_path / "svc" / "journal.bin")
+        assert semantic_state(cold) == live
+        cold.close()
+
+    def test_corrupt_snapshot_degrades_to_older_or_cold(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc", snapshot_every=2)
+        service.register_project("hr", make_schema())
+        for sql in QUERIES:
+            service.submit(sql, project="hr")
+            service.drain()
+        live = semantic_state(service)
+        service.close()
+
+        snapshots = SnapshotManager(tmp_path / "svc" / "snapshots")
+        offsets = snapshots.offsets()
+        assert len(offsets) >= 2
+        for offset in offsets:  # damage every snapshot
+            path = snapshots.path_for(offset)
+            path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(recovered) == live
+        recovered.close()
+
+    def test_forced_snapshot_and_cadence(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc", snapshot_every=0)
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        service.drain()
+        assert SnapshotManager(tmp_path / "svc" / "snapshots").latest() is None
+        path = service.snapshot()
+        assert path is not None and path.exists()
+        service.close()
+
+        warm = AnnotationService.open_durable(tmp_path / "svc")
+        assert warm.pipeline("hr").example_count == 1
+        warm.close()
+
+
+# ----------------------------------------------------------------------
+# crash-point sweep
+# ----------------------------------------------------------------------
+
+def run_until_crash(
+    directory: Path, crash_after: int | None, torn_bytes: int | None = None
+) -> tuple[AnnotationService, bool]:
+    """Drive the standard workload on a journal that dies at ``crash_after``."""
+    journal = CrashingJournal(
+        directory / "journal.bin", crash_after=crash_after, torn_bytes=torn_bytes
+    )
+    service = AnnotationService()
+    service.attach_journal(journal)
+    try:
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES, project="hr")
+        service.drain()
+    except InjectedCrash:
+        return service, True  # abandoned without close(), like a dead process
+    return service, False
+
+
+class TestCrashSweep:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory) -> dict:
+        directory = tmp_path_factory.mktemp("reference")
+        service, crashed = run_until_crash(directory, crash_after=None)
+        assert not crashed
+        state = semantic_state(service)
+        appends = service.journal.record_count
+        service.close()
+        # register + submits + commits + drain stats
+        assert appends == 1 + len(QUERIES) + len(QUERIES) + 1
+        return {"state": state, "appends": appends}
+
+    @pytest.mark.parametrize("torn_bytes", [None, 1, 7, 40])
+    def test_crash_at_every_append_recovers_and_completes(
+        self, reference, tmp_path, torn_bytes
+    ):
+        for crash_after in range(1, reference["appends"] + 1):
+            directory = tmp_path / f"crash-{crash_after}-{torn_bytes}"
+            directory.mkdir()
+            _, crashed = run_until_crash(
+                directory, crash_after=crash_after, torn_bytes=torn_bytes
+            )
+            assert crashed
+
+            recovered = AnnotationService.recover(directory / "journal.bin")
+            if torn_bytes is not None:
+                assert recovered.journal.recovery.torn
+            # Finish the interrupted run: re-register/submit whatever the
+            # journal never saw, then drain the re-queued jobs.
+            if "hr" not in recovered.project_names:
+                recovered.register_project("hr", make_schema())
+            journaled = {job.sql for job in recovered.pending_jobs()} | {
+                record.sql for record in recovered.pipeline("hr").annotations
+            }
+            for sql in QUERIES:
+                if sql not in journaled:
+                    recovered.submit(sql, project="hr")
+            recovered.drain()
+            assert (
+                semantic_state(recovered) == reference["state"]
+            ), f"crash at append {crash_after} (torn_bytes={torn_bytes})"
+            recovered.close()
+
+    def test_recovery_is_deterministic_at_each_crash_point(self, reference, tmp_path):
+        for crash_after in (2, len(QUERIES) + 3, reference["appends"]):
+            directory = tmp_path / f"det-{crash_after}"
+            directory.mkdir()
+            run_until_crash(directory, crash_after=crash_after)
+            first = AnnotationService.recover(directory / "journal.bin")
+            state = semantic_state(first)
+            first.close()
+            second = AnnotationService.recover(directory / "journal.bin")
+            assert semantic_state(second) == state
+            second.close()

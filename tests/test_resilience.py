@@ -1,0 +1,253 @@
+"""Resilience tests: LLM retry/backoff/timeout discipline and the service's
+drain fault isolation (quarantine instead of poisoned waves)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import AnnotationService, TaskConfig
+from repro.core.pipeline import AnnotationPipeline
+from repro.errors import (
+    JournalError,
+    LLMTimeoutError,
+    PipelineError,
+    TransientLLMError,
+)
+from repro.llm import RetryPolicy, SimulatedLLM, is_transient_error
+
+from tests.faults import FlakyLLM, SlowLLM
+from tests.test_recovery import QUERIES, make_schema, semantic_state
+
+
+def make_pipeline(llm=None, config=None) -> AnnotationPipeline:
+    return AnnotationPipeline(
+        schema=make_schema(), config=config, llm=llm, dataset_name="hr"
+    )
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_capped_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in range(4)] == [0.1, 0.2, 0.4, 0.5]
+        jittered = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.5)
+        for attempt in range(4):
+            first = jittered.delay(attempt, salt="query-1")
+            assert first == jittered.delay(attempt, salt="query-1")  # deterministic
+            raw = min(0.5, 0.1 * 2**attempt)
+            assert raw * 0.5 <= first <= raw  # jitter only shaves, never inflates
+
+    def test_transient_classification(self):
+        assert is_transient_error(TransientLLMError("overloaded"))
+        assert is_transient_error(LLMTimeoutError("deadline"))
+        assert is_transient_error(ConnectionError("reset"))
+        assert is_transient_error(TimeoutError("socket"))
+        tagged = ValueError("rate limited")
+        tagged.transient = True
+        assert is_transient_error(tagged)
+        assert not is_transient_error(ValueError("bad prompt"))
+
+    def test_config_knobs_validate_and_round_trip(self):
+        config = TaskConfig(
+            llm_max_attempts=4,
+            llm_retry_base_delay=0.01,
+            llm_retry_max_delay=0.1,
+            llm_retry_jitter=0.25,
+            llm_call_timeout=1.5,
+        )
+        config.validate()
+        policy = config.retry_policy()
+        assert policy == RetryPolicy(
+            max_attempts=4, base_delay=0.01, max_delay=0.1, jitter=0.25, call_timeout=1.5
+        )
+        assert TaskConfig.from_dict(config.to_dict()) == config
+        for bad in (
+            TaskConfig(llm_max_attempts=0),
+            TaskConfig(llm_retry_base_delay=-1),
+            TaskConfig(llm_retry_jitter=1.5),
+            TaskConfig(llm_call_timeout=0),
+        ):
+            with pytest.raises(PipelineError):
+                bad.validate()
+
+
+# ----------------------------------------------------------------------
+# client-level retries
+# ----------------------------------------------------------------------
+
+class TestClientRetries:
+    def test_transient_failures_are_retried_to_success(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        pipeline = make_pipeline()  # only for a realistic prompt
+        prompt = pipeline.generate_candidates(QUERIES[0]).prompt
+        result = llm.generate_with_retry(prompt, policy)
+        assert result.candidates
+        assert llm.calls == 3 and llm.failures_injected == 2
+
+    def test_exhausted_retries_surface_the_transient_error(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=5)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        with pytest.raises(TransientLLMError):
+            llm.generate_with_retry(prompt, RetryPolicy(max_attempts=3, base_delay=0.0))
+        assert llm.calls == 3  # stopped at the attempt budget
+
+    def test_terminal_errors_fail_fast(self):
+        llm = FlakyLLM(
+            SimulatedLLM("gpt-4o", schema=make_schema()),
+            fail_times=5,
+            error_factory=lambda n: ValueError(f"bad prompt #{n}"),
+        )
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        with pytest.raises(ValueError):
+            llm.generate_with_retry(prompt, RetryPolicy(max_attempts=3, base_delay=0.0))
+        assert llm.calls == 1  # no retry on terminal errors
+
+    def test_no_policy_means_plain_call(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=1)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        with pytest.raises(TransientLLMError):
+            llm.generate_with_retry(prompt, None)
+        assert llm.calls == 1
+
+    def test_call_timeout_raises_and_is_transient(self):
+        llm = SlowLLM(SimulatedLLM("gpt-4o", schema=make_schema()), delay_seconds=0.4)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, call_timeout=0.05)
+        started = time.monotonic()
+        with pytest.raises(LLMTimeoutError):
+            llm.generate_with_retry(prompt, policy)
+        # Two attempts, each cut at ~0.05s — nowhere near 2 × 0.4s of sleeping.
+        assert time.monotonic() - started < 0.6
+
+    def test_batch_retry_covers_generate_batch(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=1)
+        pipeline = make_pipeline()
+        prompts = [pipeline.generate_candidates(sql).prompt for sql in QUERIES[:2]]
+        results = llm.generate_batch_with_retry(
+            prompts, RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
+        assert len(results) == 2 and llm.failures_injected == 1
+
+
+# ----------------------------------------------------------------------
+# pipeline-level retries
+# ----------------------------------------------------------------------
+
+class TestPipelineRetries:
+    def test_pipeline_survives_transient_flake(self):
+        config = TaskConfig(llm_max_attempts=3, llm_retry_base_delay=0.0)
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        pipeline = make_pipeline(llm=llm, config=config)
+        record = pipeline.annotate(QUERIES[0])
+        assert record.accepted
+
+    def test_pipeline_without_retries_propagates(self):
+        config = TaskConfig(llm_max_attempts=1)
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=1)
+        pipeline = make_pipeline(llm=llm, config=config)
+        with pytest.raises(TransientLLMError):
+            pipeline.annotate(QUERIES[0])
+
+    def test_retried_run_is_bit_identical_to_smooth_run(self):
+        config = TaskConfig(llm_max_attempts=3, llm_retry_base_delay=0.0)
+        smooth = make_pipeline(config=config)
+        flaky = make_pipeline(
+            llm=FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2),
+            config=config,
+        )
+        smooth_records = smooth.annotate_many(QUERIES)
+        flaky_records = flaky.annotate_many(QUERIES)
+        assert flaky_records == smooth_records
+
+
+# ----------------------------------------------------------------------
+# drain fault isolation
+# ----------------------------------------------------------------------
+
+class TestDrainIsolation:
+    POISON = "SELEC name FRM employees"  # parses at submit, dies at annotate
+
+    def test_poisoned_job_is_quarantined_not_fatal(self):
+        service = AnnotationService()
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        service.submit(self.POISON, project="hr")
+        service.submit(QUERIES[1], project="hr")
+        completed = service.drain()
+
+        assert len(completed) == 3
+        failures = [item for item in completed if item.failed]
+        assert len(failures) == 1
+        assert failures[0].job.sql == self.POISON
+        assert failures[0].record is None and failures[0].error
+        assert service.quarantine == failures
+        assert service.stats.failed == 1
+        assert service.stats.completed == 2
+        assert service.stats.pending == 0
+        # the healthy jobs produced real annotations
+        healthy = [item for item in completed if not item.failed]
+        assert all(item.record.accepted for item in healthy)
+        assert service.pipeline("hr").example_count == 2
+
+    def test_isolated_records_match_a_poison_free_run(self):
+        poisoned = AnnotationService()
+        poisoned.register_project("hr", make_schema())
+        for sql in (QUERIES[0], self.POISON, QUERIES[1], QUERIES[2]):
+            poisoned.submit(sql, project="hr")
+        poisoned_records = [
+            item.record for item in poisoned.drain() if not item.failed
+        ]
+
+        clean = AnnotationService()
+        clean.register_project("hr", make_schema())
+        for sql in (QUERIES[0], QUERIES[1], QUERIES[2]):
+            clean.submit(sql, project="hr")
+        clean_records = [item.record for item in clean.drain()]
+
+        # Same annotations (ignoring auto query-id numbering, which counts
+        # every produced record): SQL, NL and acceptance all line up.
+        assert [(r.sql, r.nl, r.accepted) for r in poisoned_records] == [
+            (r.sql, r.nl, r.accepted) for r in clean_records
+        ]
+
+    def test_quarantine_survives_recovery(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        service.submit(self.POISON, project="hr")
+        service.drain()
+        assert service.stats.failed == 1
+        live = semantic_state(service)
+        assert live["quarantine"]
+        service.close()
+
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        assert semantic_state(recovered) == live
+        assert recovered.stats.failed == 1
+        assert recovered.stats.pending == 0
+        recovered.close()
+
+    def test_flaky_batch_call_heals_within_the_drain(self):
+        config = TaskConfig(llm_max_attempts=3, llm_retry_base_delay=0.0)
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        service = AnnotationService()
+        service.register_project("hr", make_schema(), config=config, llm=llm)
+        service.submit_many(QUERIES, project="hr")
+        completed = service.drain()
+        assert len(completed) == len(QUERIES)
+        assert not any(item.failed for item in completed)
+        assert service.stats.failed == 0
+
+    def test_journal_errors_are_never_swallowed(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        service.journal.close()  # durability lost mid-flight
+        with pytest.raises(JournalError):
+            service.drain()
