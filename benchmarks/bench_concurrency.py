@@ -1,0 +1,206 @@
+"""Concurrent multi-tenant drain throughput vs the sequential baseline.
+
+Four tenant projects — one per workload family (Spider, Bird, Fiben,
+Beaver) — submit their queries to one :class:`AnnotationService`; every
+tenant's LLM client is wrapped in a ``SlowLLM`` that sleeps before each call,
+modelling the real API latency that dominates annotation wall-clock.  The
+benchmark drains the same job mix twice:
+
+* **sequential** — the classic drain, one project at a time;
+* **concurrent** — the round-based :class:`~repro.core.scheduler.WaveScheduler`
+  overlapping the four tenants' waves through a worker pool.
+
+Because the injected latency is identical and per-project wave sequences are
+preserved, the speedup measures exactly what the scheduler buys.  The run
+asserts the ≥``min_speedup`` floor *and* that the concurrent drain's results
+are bit-identical to the sequential drain's (the parity half of the
+acceptance criteria).
+
+Set ``CONCURRENCY_BENCH_PROFILE=smoke`` (or run ``python
+benchmarks/bench_concurrency.py --smoke``) for the CI-sized run: fewer
+queries, a shorter injected delay and a looser floor for noisy shared
+runners.  Timings take the best of ``rounds`` paired runs.  Emits
+``BENCH_concurrency.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import AnnotationService, TaskConfig
+from repro.llm import SimulatedLLM
+
+from tests.faults import SlowLLM
+
+#: Benchmark profiles: workload size, injected latency, and the speedup floor.
+PROFILES = {
+    "full": {
+        "queries_per_project": 24,
+        "llm_delay_seconds": 0.1,
+        "rounds": 3,
+        "min_speedup": 2.5,
+    },
+    "smoke": {
+        "queries_per_project": 8,
+        "llm_delay_seconds": 0.02,
+        "rounds": 2,
+        "min_speedup": 1.8,
+    },
+}
+
+PROFILE = os.environ.get("CONCURRENCY_BENCH_PROFILE", "full")
+#: One tenant per workload family; 4 projects is the acceptance-criteria point.
+PROJECT_WORKLOADS = ["Spider", "Bird", "Fiben", "Beaver"]
+CONCURRENCY = len(PROJECT_WORKLOADS)
+BATCH_SIZE = 8
+#: Fraction of the paper's rows/table (matches benchmarks/conftest.py).
+ROW_SCALE = 0.0015
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def tenant_workloads():
+    from repro.workloads import build_benchmark
+
+    profile = PROFILES[PROFILE]
+    return {
+        name: build_benchmark(
+            name,
+            seed=SEED,
+            row_scale=ROW_SCALE,
+            query_count=profile["queries_per_project"],
+        )
+        for name in PROJECT_WORKLOADS
+    }
+
+
+def _fingerprint(completed):
+    """Order-sensitive digest of one drain's full result list."""
+    return [
+        (
+            item.job.project,
+            item.job.job_id,
+            item.job.query_id,
+            None
+            if item.record is None
+            else (item.record.nl, item.record.accepted, tuple(item.record.candidates)),
+            item.error,
+        )
+        for item in completed
+    ]
+
+
+def _drain_round(workloads, delay: float, concurrency: int):
+    """Build a fresh 4-tenant service, submit everything, time one drain."""
+    service = AnnotationService(max_concurrency=concurrency)
+    for name, workload in workloads.items():
+        service.register_project(
+            name,
+            workload.schema,
+            config=TaskConfig(batch_size=BATCH_SIZE),
+            llm=SlowLLM(SimulatedLLM("gpt-4o", schema=workload.schema), delay),
+        )
+    for name, workload in workloads.items():
+        service.submit_many(workload.query_sql, project=name)
+    started = time.perf_counter()
+    completed = service.drain()
+    elapsed = time.perf_counter() - started
+    assert service.pending_count == 0
+    assert service.stats.failed == 0
+    return elapsed, _fingerprint(completed)
+
+
+def test_concurrency_benchmark(benchmark, tenant_workloads):
+    profile = PROFILES[PROFILE]
+    rounds = profile["rounds"]
+    delay = profile["llm_delay_seconds"]
+    queries = sum(len(w.query_sql) for w in tenant_workloads.values())
+
+    # Each round times both conditions back-to-back (alternating which goes
+    # first) so scheduling noise hits them evenly; the reported numbers are
+    # the best (least-disturbed) round of each condition.
+    sequential_rounds: list[float] = []
+    concurrent_rounds: list[float] = []
+    sequential_result = concurrent_result = None
+    for round_index in range(rounds):
+        order = (1, CONCURRENCY) if round_index % 2 == 0 else (CONCURRENCY, 1)
+        for concurrency in order:
+            elapsed, result = _drain_round(tenant_workloads, delay, concurrency)
+            if concurrency == 1:
+                sequential_rounds.append(elapsed)
+                sequential_result = result
+            else:
+                concurrent_rounds.append(elapsed)
+                concurrent_result = result
+
+    # Parity first: speed means nothing if the answers changed.  The full
+    # completed-job stream — per-project order, job ids, records, errors —
+    # must be identical between the two drain modes.
+    assert concurrent_result == sequential_result
+    parity = "bit-identical"
+
+    sequential_elapsed = min(sequential_rounds)
+    concurrent_elapsed = min(concurrent_rounds)
+    speedup = sequential_elapsed / concurrent_elapsed
+
+    # One extra concurrent round under the harness so the shared benchmark
+    # reporting stays comparable with the other bench_* files.
+    benchmark.pedantic(
+        lambda: _drain_round(tenant_workloads, delay, CONCURRENCY),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        f"profile: {PROFILE}  projects: {len(tenant_workloads)}  jobs: {queries}"
+        f"  llm delay: {delay * 1000:0.0f}ms  rounds: {rounds}"
+    )
+    print(
+        f"drain:  sequential {sequential_elapsed:6.3f}s   "
+        f"concurrent(x{CONCURRENCY}) {concurrent_elapsed:6.3f}s   "
+        f"speedup {speedup:0.2f}x (floor {profile['min_speedup']}x)"
+    )
+    print(f"parity: {parity}")
+
+    report_path = Path(__file__).resolve().parents[1] / "BENCH_concurrency.json"
+    report_path.write_text(
+        json.dumps(
+            {
+                "benchmark": "concurrency",
+                "profile": PROFILE,
+                "projects": len(tenant_workloads),
+                "jobs": queries,
+                "llm_delay_seconds": delay,
+                "rounds": rounds,
+                "drain": {
+                    "sequential_seconds": round(sequential_elapsed, 4),
+                    "concurrent_seconds": round(concurrent_elapsed, 4),
+                    "concurrency": CONCURRENCY,
+                    "speedup": round(speedup, 3),
+                    "min_speedup": profile["min_speedup"],
+                },
+                "parity": parity,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= profile["min_speedup"], (
+        f"concurrent drain {speedup:0.2f}x vs sequential; "
+        f"{PROFILE} profile requires >= {profile['min_speedup']}x"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        os.environ["CONCURRENCY_BENCH_PROFILE"] = "smoke"
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -21,12 +21,20 @@ from repro.core.ingestion import (
     split_sql_log,
 )
 from repro.core.journal import EventJournal, JournalEvent, JournalRecovery
-from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, CandidateSet, WaveStats
+from repro.core.pipeline import (
+    AnnotationPipeline,
+    AnnotationRecord,
+    CandidateSet,
+    WaveRun,
+    WaveStats,
+)
 from repro.core.project import Project, Workspace
+from repro.core.scheduler import WaveScheduler
 from repro.core.service import (
     AnnotationJob,
     AnnotationService,
     CompletedJob,
+    ProjectStats,
     ServiceStats,
 )
 from repro.core.snapshot import SnapshotManager
@@ -49,10 +57,13 @@ __all__ = [
     "JournalRecovery",
     "LogEntry",
     "Project",
+    "ProjectStats",
     "ReviewReport",
     "ServiceStats",
     "SnapshotManager",
     "TaskConfig",
+    "WaveRun",
+    "WaveScheduler",
     "WaveStats",
     "Workspace",
     "annotations_at_offset",

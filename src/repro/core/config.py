@@ -44,6 +44,11 @@ class TaskConfig:
             how many queries are retrieved and generated together before
             feedback is applied and accepted annotations are committed.
             1 degenerates to fully sequential annotation.
+        max_pending_per_project: Admission-control limit on this project's
+            queued (not yet drained) jobs in the annotation service.  A
+            submit that would exceed it is rejected with
+            :class:`~repro.errors.BackpressureError` instead of letting one
+            hot tenant grow the queue without bound.  0 disables the limit.
         llm_max_attempts: Attempts per LLM call before a transient error is
             surfaced (1 disables retries).
         llm_retry_base_delay: Backoff before the first retry, in seconds;
@@ -65,6 +70,7 @@ class TaskConfig:
     knowledge_feedback_enabled: bool = True
     auto_accept_into_examples: bool = True
     batch_size: int = 16
+    max_pending_per_project: int = 0
     llm_max_attempts: int = 3
     llm_retry_base_delay: float = 0.05
     llm_retry_max_delay: float = 2.0
@@ -79,6 +85,8 @@ class TaskConfig:
             raise PipelineError("top_k_examples cannot be negative")
         if self.batch_size < 1:
             raise PipelineError("batch_size must be at least 1")
+        if self.max_pending_per_project < 0:
+            raise PipelineError("max_pending_per_project cannot be negative")
         if self.llm_max_attempts < 1:
             raise PipelineError("llm_max_attempts must be at least 1")
         if self.llm_retry_base_delay < 0 or self.llm_retry_max_delay < 0:

@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -92,6 +93,12 @@ class EventJournal:
     Opening a path that already holds a journal scans it, truncates any torn
     tail, and positions the append cursor after the last valid record — so a
     process can crash at any byte of a write and the next open heals the file.
+
+    Appends are serialised through an internal (re-entrant) lock, so waves
+    drained concurrently from several projects interleave as *whole records*
+    in the CRC-framed stream — never as interleaved bytes.  Group commit and
+    close take the same lock, making the journal safe to share across the
+    scheduler's worker threads.
     """
 
     def __init__(self, path: str | Path, fsync: str = "batch") -> None:
@@ -109,6 +116,9 @@ class EventJournal:
         self._record_count = self.recovery.record_count
         self._handle = open(self.path, "ab")
         self._dirty = False
+        # Re-entrant so fault-injection subclasses can hold it around a
+        # super().append() call without deadlocking.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # append path
@@ -126,8 +136,6 @@ class EventJournal:
         returns; otherwise it sits in the write buffer until the next
         :meth:`commit` (group commit) makes it durable.
         """
-        if self._handle is None:
-            raise JournalError(f"journal {self.path} is closed")
         try:
             data = json.dumps(
                 {"type": event_type, "payload": payload}, separators=(",", ":")
@@ -135,38 +143,45 @@ class EventJournal:
         except (TypeError, ValueError) as exc:
             raise JournalError(f"event payload is not JSON-serialisable: {exc}") from exc
         record = _HEADER.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
-        try:
-            self._handle.write(record)
-            if self.fsync_policy == "always":
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
-            else:
-                self._dirty = True
-        except OSError as exc:
-            raise JournalError(f"failed to append to journal {self.path}: {exc}") from exc
-        offset = self._record_count
-        self._record_count += 1
-        return offset
+        with self._lock:
+            if self._handle is None:
+                raise JournalError(f"journal {self.path} is closed")
+            try:
+                self._handle.write(record)
+                if self.fsync_policy == "always":
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                else:
+                    self._dirty = True
+            except OSError as exc:
+                raise JournalError(
+                    f"failed to append to journal {self.path}: {exc}"
+                ) from exc
+            offset = self._record_count
+            self._record_count += 1
+            return offset
 
     def commit(self) -> None:
         """Group-commit point: make everything appended so far durable."""
-        if self._handle is None or not self._dirty:
-            return
-        try:
-            self._handle.flush()
-            if self.fsync_policy != "never":
-                os.fsync(self._handle.fileno())
-        except OSError as exc:
-            raise JournalError(f"failed to sync journal {self.path}: {exc}") from exc
-        self._dirty = False
+        with self._lock:
+            if self._handle is None or not self._dirty:
+                return
+            try:
+                self._handle.flush()
+                if self.fsync_policy != "never":
+                    os.fsync(self._handle.fileno())
+            except OSError as exc:
+                raise JournalError(f"failed to sync journal {self.path}: {exc}") from exc
+            self._dirty = False
 
     def close(self) -> None:
         """Commit and release the file handle (idempotent)."""
-        if self._handle is None:
-            return
-        self.commit()
-        self._handle.close()
-        self._handle = None
+        with self._lock:
+            if self._handle is None:
+                return
+            self.commit()
+            self._handle.close()
+            self._handle = None
 
     def __enter__(self) -> "EventJournal":
         return self
@@ -180,8 +195,9 @@ class EventJournal:
 
     def events(self, start: int = 0) -> list[JournalEvent]:
         """Decode records ``start..`` from disk (flushes pending writes first)."""
-        if self._handle is not None:
-            self._handle.flush()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
         recovery = self.scan(self.path, with_events=True)
         return [event for event in recovery.events if event.offset >= start]
 

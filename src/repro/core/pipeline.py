@@ -141,6 +141,9 @@ class AnnotationPipeline:
         self.last_run_stats = WaveStats()
         self._counter = 0
         self._retry_policy = self.config.retry_policy()
+        # Jitter salt for LLM retry backoff: keyed by project so concurrent
+        # tenants hitting the same transient error don't retry in lockstep.
+        self._retry_salt = dataset_name
         self._journal: EventJournal | None = None
         self._journal_project = dataset_name
 
@@ -217,7 +220,9 @@ class AnnotationPipeline:
     def _generate_flat(self, sql: str) -> list[str]:
         context = self._retrieve(sql)
         prompt = self._build_prompt(sql, context)
-        return self.llm.generate_with_retry(prompt, self._retry_policy).candidates
+        return self.llm.generate_with_retry(
+            prompt, self._retry_policy, salt=self._retry_salt
+        ).candidates
 
     def _generate_decomposed(
         self, decomposition: DecompositionResult
@@ -227,7 +232,7 @@ class AnnotationPipeline:
             context = self._retrieve(unit.sql)
             prompt = self._build_prompt(unit.sql, context)
             unit_candidates[unit.name] = self.llm.generate_with_retry(
-                prompt, self._retry_policy
+                prompt, self._retry_policy, salt=self._retry_salt
             ).candidates
         return self._merge_unit_candidates(decomposition, unit_candidates), unit_candidates
 
@@ -369,39 +374,36 @@ class AnnotationPipeline:
         a full retrieval window, after which waves start at full size (so
         repeated incremental drains on a warm pipeline stay fully batched).
         """
-        if query_ids is not None and len(query_ids) != len(statements):
-            raise PipelineError("query_ids must align with statements")
-        if commit_tags is not None and len(commit_tags) != len(statements):
-            raise PipelineError("commit_tags must align with statements")
-        wave_size = batch_size if batch_size is not None else self.config.batch_size
-        if wave_size < 1:
-            raise PipelineError("batch_size must be at least 1")
+        run = self.wave_run(
+            statements, query_ids=query_ids, batch_size=batch_size, commit_tags=commit_tags
+        )
+        while not run.done:
+            run.run_next_wave()
+        run.finish()
+        return run.records
 
-        stats = WaveStats(queries=len(statements))
-        requests_before = self.llm.usage.requests
-        records: list[AnnotationRecord] = []
-        start = 0
-        archive_warm = len(self.retriever.example_store) >= self.config.top_k_examples + 5
-        size = wave_size if archive_warm else 1
-        while start < len(statements):
-            wave_statements = statements[start : start + size]
-            wave_ids = (
-                query_ids[start : start + size]
-                if query_ids is not None
-                else [None] * len(wave_statements)
-            )
-            wave_tags = (
-                commit_tags[start : start + size]
-                if commit_tags is not None
-                else [None] * len(wave_statements)
-            )
-            records.extend(self._run_wave(wave_statements, wave_ids, stats, wave_tags))
-            stats.waves += 1
-            start += len(wave_statements)
-            size = min(wave_size, size * 2)
-        stats.llm_requests = self.llm.usage.requests - requests_before
-        self.last_run_stats = stats
-        return records
+    def wave_run(
+        self,
+        statements: list[str],
+        query_ids: list[str | None] | None = None,
+        batch_size: int | None = None,
+        commit_tags: list | None = None,
+    ) -> "WaveRun":
+        """An incremental :class:`WaveRun` over these statements.
+
+        :meth:`annotate_many` is exactly ``wave_run(...)`` driven to
+        completion in a loop; the concurrent multi-project scheduler instead
+        interleaves ``run_next_wave`` calls from several projects' runs, one
+        wave per project per round, which is what makes drains fair *and*
+        bit-identical per project.
+        """
+        return WaveRun(
+            self,
+            statements,
+            query_ids=query_ids,
+            batch_size=batch_size,
+            commit_tags=commit_tags,
+        )
 
     def _run_wave(
         self,
@@ -461,7 +463,9 @@ class AnnotationPipeline:
         ]
 
         # Phase 3 — one batched generation call for the whole wave.
-        results = self.llm.generate_batch_with_retry(prompts, self._retry_policy)
+        results = self.llm.generate_batch_with_retry(
+            prompts, self._retry_policy, salt=self._retry_salt
+        )
         cursor = 0
         for item in items:
             item.contexts = contexts[cursor : cursor + len(item.unit_sqls)]
@@ -585,7 +589,9 @@ class AnnotationPipeline:
             ]
         if item.decomposition is not None:
             unit_candidates = {
-                name: self.llm.generate_with_retry(prompt, self._retry_policy).candidates
+                name: self.llm.generate_with_retry(
+                    prompt, self._retry_policy, salt=self._retry_salt
+                ).candidates
                 for name, prompt in zip(item.unit_names, fresh_prompts)
             }
             candidates = self._merge_unit_candidates(item.decomposition, unit_candidates)
@@ -594,7 +600,7 @@ class AnnotationPipeline:
         else:
             unit_candidates = {}
             candidates = self.llm.generate_with_retry(
-                fresh_prompts[0], self._retry_policy
+                fresh_prompts[0], self._retry_policy, salt=self._retry_salt
             ).candidates
             context = fresh_contexts[0]
             prompt = fresh_prompts[0]
@@ -622,3 +628,107 @@ class AnnotationPipeline:
     def example_count(self) -> int:
         """Number of examples currently available for retrieval."""
         return len(self.retriever.example_store)
+
+
+class WaveRun:
+    """Resumable wave-at-a-time driver for one pipeline's batched annotation.
+
+    Holds the cursor, the geometric wave-size ramp and the accumulated
+    records/stats of an :meth:`AnnotationPipeline.annotate_many` run, but
+    advances only when :meth:`run_next_wave` is called.  Driving a run to
+    completion in a tight loop reproduces ``annotate_many`` exactly; the
+    multi-project scheduler instead calls ``run_next_wave`` once per round on
+    every tenant's run, so independent projects' waves overlap on the LLM
+    boundary while each project still sees its own waves strictly in order —
+    the per-project record stream is bit-identical either way.
+
+    A ``WaveRun`` must only ever be advanced by one thread at a time (the
+    scheduler guarantees this by never submitting a project's next wave until
+    its previous one returned).
+    """
+
+    def __init__(
+        self,
+        pipeline: AnnotationPipeline,
+        statements: list[str],
+        query_ids: list[str | None] | None = None,
+        batch_size: int | None = None,
+        commit_tags: list | None = None,
+    ) -> None:
+        if query_ids is not None and len(query_ids) != len(statements):
+            raise PipelineError("query_ids must align with statements")
+        if commit_tags is not None and len(commit_tags) != len(statements):
+            raise PipelineError("commit_tags must align with statements")
+        wave_size = batch_size if batch_size is not None else pipeline.config.batch_size
+        if wave_size < 1:
+            raise PipelineError("batch_size must be at least 1")
+        self.pipeline = pipeline
+        self._statements = list(statements)
+        self._query_ids = list(query_ids) if query_ids is not None else None
+        self._commit_tags = list(commit_tags) if commit_tags is not None else None
+        self._wave_size = wave_size
+        self.stats = WaveStats(queries=len(self._statements))
+        self.records: list[AnnotationRecord] = []
+        self._start = 0
+        self._requests_before = pipeline.llm.usage.requests
+        archive_warm = (
+            len(pipeline.retriever.example_store) >= pipeline.config.top_k_examples + 5
+        )
+        self._size = wave_size if archive_warm else 1
+        self._finished = False
+
+    @property
+    def done(self) -> bool:
+        """Whether every statement has been committed."""
+        return self._start >= len(self._statements)
+
+    @property
+    def pending(self) -> int:
+        """Statements not yet committed."""
+        return len(self._statements) - self._start
+
+    def run_next_wave(self) -> list[AnnotationRecord]:
+        """Advance one wave (parse → retrieve → generate → commit).
+
+        Returns the records the wave committed (empty when already done).
+        Finishing the last wave finalises the run's stats automatically.
+        """
+        if self.done:
+            self.finish()
+            return []
+        start, size = self._start, self._size
+        wave_statements = self._statements[start : start + size]
+        wave_ids = (
+            self._query_ids[start : start + size]
+            if self._query_ids is not None
+            else [None] * len(wave_statements)
+        )
+        wave_tags = (
+            self._commit_tags[start : start + size]
+            if self._commit_tags is not None
+            else [None] * len(wave_statements)
+        )
+        wave_records = self.pipeline._run_wave(
+            wave_statements, wave_ids, self.stats, wave_tags
+        )
+        self.stats.waves += 1
+        self._start += len(wave_statements)
+        self._size = min(self._wave_size, size * 2)
+        self.records.extend(wave_records)
+        if self.done:
+            self.finish()
+        return wave_records
+
+    def finish(self) -> None:
+        """Finalise run accounting and publish it as the pipeline's last run.
+
+        Idempotent.  ``llm_requests`` is the request-counter delta over this
+        run; with a dedicated client per project (the default) it is exact,
+        while a client *shared* across concurrently-drained projects reports
+        the requests observed in this run's window.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self.stats.llm_requests = self.pipeline.llm.usage.requests - self._requests_before
+        self.pipeline.last_run_stats = self.stats

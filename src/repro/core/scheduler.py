@@ -1,0 +1,104 @@
+"""Round-based concurrent wave scheduler for multi-tenant drains.
+
+Sequential :meth:`~repro.core.service.AnnotationService.drain` runs one
+project's waves to completion before touching the next, so N tenants queue
+behind each other even though their pipelines share no mutable state.  The
+:class:`WaveScheduler` instead advances *every* project with pending work one
+wave per round through a bounded thread pool: the slow part of a wave — the
+batched LLM call — overlaps across tenants, while each tenant's own waves
+still run strictly in order on a single thread at a time.
+
+Correctness argument, in brief:
+
+* Per-project pipeline state (retriever, example store, embedding model,
+  default LLM client) is thread-confined — a project's
+  :class:`~repro.core.pipeline.WaveRun` is only ever advanced by one worker
+  at a time, and never before its previous wave returned.  Each project
+  therefore sees exactly the wave sequence of a sequential
+  ``annotate_many`` run, which is what makes per-project results
+  bit-identical to sequential drain.
+* Shared mutable state is limited to the event journal (appends serialized
+  by its internal lock, so the CRC-framed record stream interleaves only at
+  whole-record boundaries) and :class:`~repro.llm.base.UsageStats` when one
+  LLM client backs several projects (its counters are lock-guarded).
+* The round barrier gives fairness: no tenant can get more than one wave
+  ahead of another, so a hot tenant with a deep queue cannot starve the
+  rest of pool slots.
+
+Failure semantics mirror the sequential drain: an ``Exception`` from one
+project's wave stops only that project (the error is reported per project so
+the service can fall back to its per-job quarantine path), while
+:class:`~repro.errors.JournalError` and ``BaseException`` (e.g. injected
+crashes) are fatal and re-raised — but only after every wave of the current
+round has settled, so no worker thread is left running against a
+half-torn-down service.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.pipeline import WaveRun
+from repro.errors import JournalError, PipelineError
+
+__all__ = ["WaveScheduler"]
+
+
+class WaveScheduler:
+    """Drive many projects' :class:`WaveRun` steppers concurrently and fairly.
+
+    ``max_workers`` bounds how many waves are in flight simultaneously; with
+    more active projects than workers, the pool queues the excess within the
+    round (the barrier still holds).
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise PipelineError("scheduler max_workers must be at least 1")
+        self.max_workers = max_workers
+        #: Rounds executed by the most recent :meth:`run_all` call.
+        self.rounds = 0
+
+    def run_all(self, runs: dict[str, WaveRun]) -> dict[str, Exception]:
+        """Advance every run to completion; returns per-project errors.
+
+        Each round submits one ``run_next_wave`` per still-active project and
+        waits for all of them before starting the next round.  A project
+        whose wave raises an ``Exception`` is retired with that exception
+        recorded under its name (its committed prefix is untouched); fatal
+        conditions — :class:`JournalError` or any non-``Exception``
+        ``BaseException`` — are re-raised once the round has fully settled.
+        """
+        self.rounds = 0
+        errors: dict[str, Exception] = {}
+        active = {project: run for project, run in runs.items() if not run.done}
+        if not active:
+            return errors
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="wave"
+        ) as pool:
+            while active:
+                self.rounds += 1
+                futures = [
+                    (project, pool.submit(active[project].run_next_wave))
+                    for project in list(active)
+                ]
+                fatal: BaseException | None = None
+                for project, future in futures:
+                    try:
+                        future.result()
+                    except JournalError as exc:
+                        fatal = fatal if fatal is not None else exc
+                        del active[project]
+                    except Exception as exc:
+                        errors[project] = exc
+                        del active[project]
+                    except BaseException as exc:  # e.g. injected crash faults
+                        fatal = fatal if fatal is not None else exc
+                        del active[project]
+                    else:
+                        if active[project].done:
+                            del active[project]
+                if fatal is not None:
+                    raise fatal
+        return errors

@@ -9,6 +9,15 @@ the growing-archive effect is preserved.  It models the server side of
 BenchPress under heavy multi-user load, where annotation requests arrive
 faster than they are processed.
 
+Concurrency.  With ``max_concurrency > 1`` (or ``drain(concurrency=...)``),
+independent projects' waves run through a bounded worker pool
+(:class:`~repro.core.scheduler.WaveScheduler`) so their batched LLM calls
+overlap instead of queueing behind each other; per-project results are
+bit-identical to the sequential drain.  Per-tenant admission control
+(``TaskConfig.max_pending_per_project``) rejects submits with
+:class:`~repro.errors.BackpressureError` once a tenant's queue is full, and
+:class:`ServiceStats` keeps a lock-guarded per-tenant breakdown.
+
 Durability.  The service can run on top of an append-only
 :class:`~repro.core.journal.EventJournal`: every state change (project
 registered, job submitted, annotation committed, job failed) is journaled at
@@ -30,6 +39,7 @@ and a job that still fails is quarantined as a failed
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -45,7 +55,7 @@ from repro.core.journal import (
     EventJournal,
     JournalEvent,
 )
-from repro.core.pipeline import AnnotationPipeline, AnnotationRecord
+from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, WaveRun
 from repro.core.snapshot import (
     SnapshotManager,
     capture_pipeline_state,
@@ -54,7 +64,8 @@ from repro.core.snapshot import (
     schema_to_state,
 )
 from repro.core.feedback import Feedback
-from repro.errors import JournalError, PipelineError
+from repro.core.scheduler import WaveScheduler
+from repro.errors import BackpressureError, JournalError, PipelineError
 from repro.llm.base import LLMClient, UsageStats
 from repro.schema.model import DatabaseSchema
 
@@ -92,8 +103,28 @@ class CompletedJob:
 
 
 @dataclass
+class ProjectStats:
+    """Per-tenant slice of the service accounting."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def pending(self) -> int:
+        """This tenant's jobs submitted but not yet drained (or quarantined)."""
+        return self.submitted - self.completed - self.failed
+
+
+@dataclass
 class ServiceStats:
-    """Aggregate accounting across every drain."""
+    """Aggregate accounting across every drain.
+
+    Counter mutations go through the ``note_*`` methods, which serialize
+    updates under an internal lock and keep the per-tenant breakdown in
+    :attr:`per_project` consistent with the global totals — safe to read
+    from monitoring threads while a concurrent drain is in flight.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -102,20 +133,67 @@ class ServiceStats:
     batched_queries: int = 0
     regenerated_queries: int = 0
     usage_by_model: dict[str, UsageStats] = field(default_factory=dict)
+    per_project: dict[str, ProjectStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field so serialisation helpers never see it.
+        self._lock = threading.Lock()
 
     @property
     def pending(self) -> int:
         """Jobs submitted but not yet drained (or quarantined)."""
         return self.submitted - self.completed - self.failed
 
+    def project(self, name: str) -> ProjectStats:
+        """The (created-on-demand) per-tenant counters for one project."""
+        with self._lock:
+            return self.per_project.setdefault(name, ProjectStats())
+
+    def note_submitted(self, project: str, count: int = 1) -> None:
+        """Count newly enqueued jobs for one tenant."""
+        with self._lock:
+            self.submitted += count
+            self.per_project.setdefault(project, ProjectStats()).submitted += count
+
+    def note_completed(self, project: str, count: int = 1) -> None:
+        """Count successfully annotated jobs for one tenant."""
+        with self._lock:
+            self.completed += count
+            self.per_project.setdefault(project, ProjectStats()).completed += count
+
+    def note_failed(self, project: str, count: int = 1) -> None:
+        """Count quarantined jobs for one tenant."""
+        with self._lock:
+            self.failed += count
+            self.per_project.setdefault(project, ProjectStats()).failed += count
+
+    def note_drain(self, waves: int, batched: int, regenerated: int) -> None:
+        """Fold one drain's wave accounting into the totals."""
+        with self._lock:
+            self.waves += waves
+            self.batched_queries += batched
+            self.regenerated_queries += regenerated
+
 
 class AnnotationService:
-    """Multi-project submit/drain facade over batched annotation pipelines."""
+    """Multi-project submit/drain facade over batched annotation pipelines.
 
-    def __init__(self, default_project: str = "default") -> None:
+    ``max_concurrency`` sets the default worker-pool width used by
+    :meth:`drain` when several projects have pending jobs: 1 (the default)
+    keeps the classic fully sequential drain, larger values overlap
+    independent projects' waves on the LLM boundary via
+    :class:`~repro.core.scheduler.WaveScheduler`.  Per-project results are
+    bit-identical either way.
+    """
+
+    def __init__(self, default_project: str = "default", max_concurrency: int = 1) -> None:
+        if max_concurrency < 1:
+            raise PipelineError("max_concurrency must be at least 1")
         self._default_project = default_project
+        self.max_concurrency = max_concurrency
         self._pipelines: dict[str, AnnotationPipeline] = {}
         self._queue: list[AnnotationJob] = []
+        self._pending_by_project: dict[str, int] = {}
         self._next_job_id = 1
         self.stats = ServiceStats()
         #: Jobs that failed annotation and were isolated from the queue.
@@ -176,18 +254,33 @@ class AnnotationService:
     def submit(
         self, sql: str, project: str | None = None, query_id: str | None = None
     ) -> int:
-        """Enqueue one statement; returns its job id."""
+        """Enqueue one statement; returns its job id.
+
+        Admission control: when the project's
+        :attr:`~repro.core.config.TaskConfig.max_pending_per_project` is set
+        and the tenant already has that many queued jobs, the submit is
+        rejected with :class:`BackpressureError` *before* anything is
+        enqueued or journaled — the caller should drain and resubmit.
+        """
         name = project or self._default_project
         if name not in self._pipelines:
             raise PipelineError(f"project {name!r} is not registered")
         if not sql.strip().rstrip(";"):
             raise PipelineError("cannot enqueue an empty SQL string")
+        limit = self._pipelines[name].config.max_pending_per_project
+        queued = self._pending_by_project.get(name, 0)
+        if limit > 0 and queued >= limit:
+            raise BackpressureError(
+                f"project {name!r} already has {queued} pending jobs "
+                f"(max_pending_per_project={limit}); drain before resubmitting"
+            )
         job = AnnotationJob(
             job_id=self._next_job_id, project=name, sql=sql, query_id=query_id
         )
         self._next_job_id += 1
         self._queue.append(job)
-        self.stats.submitted += 1
+        self._pending_by_project[name] = queued + 1
+        self.stats.note_submitted(name)
         if self._journal is not None:
             self._journal.append(
                 JOB_SUBMITTED,
@@ -217,18 +310,33 @@ class AnnotationService:
             return list(self._queue)
         return [job for job in self._queue if job.project == project]
 
+    def pending_count_for(self, project: str) -> int:
+        """Queued jobs for one project (the admission-control counter)."""
+        return self._pending_by_project.get(project, 0)
+
     # ------------------------------------------------------------------
     # drain
     # ------------------------------------------------------------------
 
-    def drain(self, max_jobs: int | None = None) -> list[CompletedJob]:
+    def drain(
+        self, max_jobs: int | None = None, concurrency: int | None = None
+    ) -> list[CompletedJob]:
         """Process queued jobs through the batched wave scheduler.
 
         Jobs are grouped per project (preserving submission order within a
-        project) and each group runs through that project's
-        :meth:`AnnotationPipeline.annotate_many`.  Returns the completed jobs
-        in the order they were processed — including failed ones, whose
-        ``record`` is ``None`` (see :attr:`CompletedJob.failed`).
+        project) and each group runs through that project's wave scheduler.
+        Returns the completed jobs ordered by project (projects in
+        first-submission order, jobs in submission order within each) —
+        including failed ones, whose ``record`` is ``None`` (see
+        :attr:`CompletedJob.failed`).
+
+        ``concurrency`` (defaulting to the service's :attr:`max_concurrency`)
+        sets how many projects' waves may be in flight at once.  Above 1,
+        independent projects advance round-by-round through a bounded worker
+        pool (:class:`WaveScheduler`) so their batched LLM calls overlap;
+        each project still runs its own waves strictly in order, so its
+        records are bit-identical to a sequential drain, and the returned
+        list is identical too.
 
         Failure isolation: when a batched group raises, the jobs already
         committed keep their records, and the remainder re-runs one job at a
@@ -238,57 +346,38 @@ class AnnotationService:
         """
         if max_jobs is not None and max_jobs < 0:
             raise PipelineError("max_jobs cannot be negative")
+        workers = self.max_concurrency if concurrency is None else concurrency
+        if workers < 1:
+            raise PipelineError("drain concurrency must be at least 1")
         taken = self._queue if max_jobs is None else self._queue[:max_jobs]
         self._queue = [] if max_jobs is None else self._queue[len(taken):]
         if not taken:
             return []
+        for job in taken:
+            remaining = self._pending_by_project.get(job.project, 0) - 1
+            self._pending_by_project[job.project] = max(0, remaining)
 
         by_project: dict[str, list[AnnotationJob]] = {}
         for job in taken:
             by_project.setdefault(job.project, []).append(job)
 
-        drain_waves = 0
-        drain_batched = 0
-        drain_regenerated = 0
-        completed: list[CompletedJob] = []
-        for project, jobs in by_project.items():
-            pipeline = self._pipelines[project]
-            records_before = len(pipeline.annotations)
-            try:
-                records = pipeline.annotate_many(
-                    [job.sql for job in jobs],
-                    query_ids=[job.query_id for job in jobs],
-                    commit_tags=[job.job_id for job in jobs],
-                )
-                run = pipeline.last_run_stats
-                drain_waves += run.waves
-                drain_batched += run.batched_queries
-                drain_regenerated += run.regenerated_queries
-                completed.extend(
-                    CompletedJob(job=job, record=record)
-                    for job, record in zip(jobs, records)
-                )
-            except JournalError:
-                raise
-            except Exception:
-                # The already-committed prefix (journaled, archived) is kept;
-                # everything after it — including the job that raised — is
-                # retried individually so one bad statement cannot sink its
-                # wave-mates.
-                done = len(pipeline.annotations) - records_before
-                committed_records = pipeline.annotations[records_before:]
-                completed.extend(
-                    CompletedJob(job=job, record=record)
-                    for job, record in zip(jobs[:done], committed_records)
-                )
-                completed.extend(
-                    self._drain_sequentially(pipeline, jobs[done:])
-                )
-        succeeded = sum(1 for item in completed if not item.failed)
-        self.stats.completed += succeeded
-        self.stats.waves += drain_waves
-        self.stats.batched_queries += drain_batched
-        self.stats.regenerated_queries += drain_regenerated
+        if workers > 1 and len(by_project) > 1:
+            completed, drain_waves, drain_batched, drain_regenerated = (
+                self._drain_concurrent(by_project, workers)
+            )
+        else:
+            completed = []
+            drain_waves = drain_batched = drain_regenerated = 0
+            for project, jobs in by_project.items():
+                items, waves, batched, regenerated = self._drain_project(project, jobs)
+                completed.extend(items)
+                drain_waves += waves
+                drain_batched += batched
+                drain_regenerated += regenerated
+        for item in completed:
+            if not item.failed:
+                self.stats.note_completed(item.job.project)
+        self.stats.note_drain(drain_waves, drain_batched, drain_regenerated)
         self._refresh_usage()
         if self._journal is not None:
             self._journal.append(
@@ -302,6 +391,95 @@ class AnnotationService:
             self._journal.commit()  # group-commit point for "batch" fsync
             self.maybe_snapshot()
         return completed
+
+    def _drain_project(
+        self, project: str, jobs: list[AnnotationJob]
+    ) -> tuple[list[CompletedJob], int, int, int]:
+        """Run one project's jobs to completion on the calling thread.
+
+        Returns ``(completed, waves, batched, regenerated)``; the wave
+        counters are zero when the batched path raised and the group fell
+        back to per-job processing (matching the historical accounting).
+        """
+        pipeline = self._pipelines[project]
+        records_before = len(pipeline.annotations)
+        try:
+            records = pipeline.annotate_many(
+                [job.sql for job in jobs],
+                query_ids=[job.query_id for job in jobs],
+                commit_tags=[job.job_id for job in jobs],
+            )
+            run = pipeline.last_run_stats
+            completed = [
+                CompletedJob(job=job, record=record)
+                for job, record in zip(jobs, records)
+            ]
+            return completed, run.waves, run.batched_queries, run.regenerated_queries
+        except JournalError:
+            raise
+        except Exception:
+            # The already-committed prefix (journaled, archived) is kept;
+            # everything after it — including the job that raised — is
+            # retried individually so one bad statement cannot sink its
+            # wave-mates.
+            return self._recover_project_drain(project, jobs, records_before), 0, 0, 0
+
+    def _recover_project_drain(
+        self, project: str, jobs: list[AnnotationJob], records_before: int
+    ) -> list[CompletedJob]:
+        """Salvage a project group whose batched run raised mid-drain."""
+        pipeline = self._pipelines[project]
+        done = len(pipeline.annotations) - records_before
+        committed_records = pipeline.annotations[records_before:]
+        completed = [
+            CompletedJob(job=job, record=record)
+            for job, record in zip(jobs[:done], committed_records)
+        ]
+        completed.extend(self._drain_sequentially(pipeline, jobs[done:]))
+        return completed
+
+    def _drain_concurrent(
+        self, by_project: dict[str, list[AnnotationJob]], workers: int
+    ) -> tuple[list[CompletedJob], int, int, int]:
+        """Advance every project's waves round-by-round through a worker pool.
+
+        Results are assembled in ``by_project`` order after the scheduler
+        finishes, so the returned list is identical to the sequential drain's
+        regardless of how waves interleaved in time.  Projects whose run
+        raised fall back to the same committed-prefix + per-job salvage path
+        as sequential drain.
+        """
+        runs: dict[str, WaveRun] = {}
+        records_before: dict[str, int] = {}
+        for project, jobs in by_project.items():
+            pipeline = self._pipelines[project]
+            records_before[project] = len(pipeline.annotations)
+            runs[project] = pipeline.wave_run(
+                [job.sql for job in jobs],
+                query_ids=[job.query_id for job in jobs],
+                commit_tags=[job.job_id for job in jobs],
+            )
+        scheduler = WaveScheduler(max_workers=workers)
+        errors = scheduler.run_all(runs)
+        completed: list[CompletedJob] = []
+        waves = batched = regenerated = 0
+        for project, jobs in by_project.items():
+            run = runs[project]
+            if project not in errors:
+                waves += run.stats.waves
+                batched += run.stats.batched_queries
+                regenerated += run.stats.regenerated_queries
+                completed.extend(
+                    CompletedJob(job=job, record=record)
+                    for job, record in zip(jobs, run.records)
+                )
+            else:
+                completed.extend(
+                    self._recover_project_drain(
+                        project, jobs, records_before[project]
+                    )
+                )
+        return completed, waves, batched, regenerated
 
     def _drain_sequentially(
         self, pipeline: AnnotationPipeline, jobs: list[AnnotationJob]
@@ -325,7 +503,7 @@ class AnnotationService:
         error = f"{type(exc).__name__}: {exc}"
         failed = CompletedJob(job=job, record=None, error=error)
         self.quarantine.append(failed)
-        self.stats.failed += 1
+        self.stats.note_failed(job.project)
         if self._journal is not None:
             self._journal.append(
                 JOB_FAILED,
@@ -453,6 +631,10 @@ class AnnotationService:
                 "waves": self.stats.waves,
                 "batched_queries": self.stats.batched_queries,
                 "regenerated_queries": self.stats.regenerated_queries,
+                "per_project": {
+                    name: asdict(project_stats)
+                    for name, project_stats in self.stats.per_project.items()
+                },
             }
         return state
 
@@ -467,6 +649,11 @@ class AnnotationService:
             )
             for item in state["quarantine"]
         ]
+        self._pending_by_project = {}
+        for job in self._queue:
+            self._pending_by_project[job.project] = (
+                self._pending_by_project.get(job.project, 0) + 1
+            )
         self._pipelines = {}
         for name, pipeline_state in state["projects"].items():
             llm = llm_factory(name) if llm_factory is not None else None
@@ -480,6 +667,12 @@ class AnnotationService:
             self.stats.waves = int(stats["waves"])
             self.stats.batched_queries = int(stats["batched_queries"])
             self.stats.regenerated_queries = int(stats["regenerated_queries"])
+            for name, entry in stats.get("per_project", {}).items():
+                self.stats.per_project[name] = ProjectStats(
+                    submitted=int(entry["submitted"]),
+                    completed=int(entry["completed"]),
+                    failed=int(entry["failed"]),
+                )
 
     @classmethod
     def recover(
@@ -490,6 +683,7 @@ class AnnotationService:
         fsync: str = "batch",
         snapshot_every: int = 0,
         llm_factory: LLMFactory | None = None,
+        max_concurrency: int = 1,
     ) -> "AnnotationService":
         """Rebuild a service from its journal (and snapshots) and go live.
 
@@ -501,7 +695,7 @@ class AnnotationService:
         too, so it doubles as the "open durable service" entry point.
         """
         journal = EventJournal(journal_path, fsync=fsync)
-        service = cls(default_project=default_project)
+        service = cls(default_project=default_project, max_concurrency=max_concurrency)
         start = 0
         if snapshots is not None:
             loaded = snapshots.latest(max_offset=journal.record_count)
@@ -522,6 +716,7 @@ class AnnotationService:
         snapshot_every: int = 0,
         keep_snapshots: int = 3,
         llm_factory: LLMFactory | None = None,
+        max_concurrency: int = 1,
     ) -> "AnnotationService":
         """Open (creating or recovering) a durable service rooted at a directory.
 
@@ -536,6 +731,7 @@ class AnnotationService:
             fsync=fsync,
             snapshot_every=snapshot_every,
             llm_factory=llm_factory,
+            max_concurrency=max_concurrency,
         )
 
     def _replay_event(
@@ -568,8 +764,11 @@ class AnnotationService:
                 query_id=payload["query_id"],
             )
             self._queue.append(job)
+            self._pending_by_project[job.project] = (
+                self._pending_by_project.get(job.project, 0) + 1
+            )
             self._next_job_id = max(self._next_job_id, job.job_id + 1)
-            self.stats.submitted += 1
+            self.stats.note_submitted(job.project)
         elif event.type == ANNOTATION_COMMITTED:
             pipeline = self._require_pipeline(payload["project"], event)
             record_state = payload["record"]
@@ -591,7 +790,7 @@ class AnnotationService:
                 )
             if payload["job_id"] is not None:
                 self._settle_job(payload["job_id"])
-                self.stats.completed += 1
+                self.stats.note_completed(payload["project"])
         elif event.type == FEEDBACK_APPLIED:
             pipeline = self._require_pipeline(payload["project"], event)
             pipeline.feedback_loop.apply(
@@ -608,11 +807,13 @@ class AnnotationService:
             self.quarantine.append(
                 CompletedJob(job=job, record=None, error=payload["error"])
             )
-            self.stats.failed += 1
+            self.stats.note_failed(payload["project"])
         elif event.type == DRAIN_STATS:
-            self.stats.waves += payload["waves"]
-            self.stats.batched_queries += payload["batched_queries"]
-            self.stats.regenerated_queries += payload["regenerated_queries"]
+            self.stats.note_drain(
+                payload["waves"],
+                payload["batched_queries"],
+                payload["regenerated_queries"],
+            )
         else:
             raise JournalError(
                 f"cannot replay unknown event type {event.type!r} "
@@ -629,4 +830,9 @@ class AnnotationService:
 
     def _settle_job(self, job_id: int) -> None:
         """Drop a journal-settled job from the pending queue (idempotent)."""
-        self._queue = [job for job in self._queue if job.job_id != job_id]
+        for index, job in enumerate(self._queue):
+            if job.job_id == job_id:
+                del self._queue[index]
+                remaining = self._pending_by_project.get(job.project, 0) - 1
+                self._pending_by_project[job.project] = max(0, remaining)
+                break

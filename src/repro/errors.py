@@ -83,6 +83,15 @@ class PipelineError(ReproError):
     """Raised by the BenchPress annotation pipeline orchestration."""
 
 
+class BackpressureError(PipelineError):
+    """A submit was rejected because the tenant's queue is at its limit.
+
+    Raised at admission time when a project already has
+    ``TaskConfig.max_pending_per_project`` jobs queued.  Callers should drain
+    (or wait for a drain) and resubmit; the job was *not* enqueued.
+    """
+
+
 class ProjectError(ReproError):
     """Raised for workspace/project management problems."""
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -35,6 +36,12 @@ def is_transient_error(exc: BaseException) -> bool:
     if isinstance(exc, (TransientLLMError, ConnectionError, TimeoutError)):
         return True
     return bool(getattr(exc, "transient", False))
+
+
+def _join_salt(prefix: str, base: str) -> str:
+    """Combine a caller-supplied jitter salt (e.g. a project name) with the
+    call-derived one."""
+    return f"{prefix}|{base}" if prefix else base
 
 
 def _stable_unit(*parts: object) -> float:
@@ -99,6 +106,13 @@ class UsageStats:
     ``requests`` counts API round trips, so a batched call that processes
     twenty prompts adds twenty to ``prompts`` but only one to ``requests`` —
     the ratio is exactly the amortisation a batch endpoint buys.
+
+    Mutation is thread-safe: one LLM client (and therefore one tracker) may
+    serve several projects whose waves are drained concurrently, so
+    :meth:`record` and :meth:`merge` hold an internal lock while they bump
+    the counters.  Reads are plain attribute access — individual fields are
+    always internally consistent, and callers that need a consistent
+    cross-field view should read while no drain is in flight.
     """
 
     model_name: str = ""
@@ -109,6 +123,11 @@ class UsageStats:
     candidates: int = 0
     latency_seconds: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: locks are process-local and must never leak
+        # into asdict()/serialised views of the stats.
+        self._lock = threading.Lock()
+
     def record(
         self,
         prompts: int,
@@ -118,22 +137,29 @@ class UsageStats:
         batched: bool = False,
     ) -> None:
         """Fold one generation call (single or batched) into the totals."""
-        self.requests += 1
-        self.prompts += prompts
-        self.prompt_tokens += prompt_tokens
-        self.candidates += candidates
-        self.latency_seconds += latency_seconds
-        if batched:
-            self.batches += 1
+        with self._lock:
+            self.requests += 1
+            self.prompts += prompts
+            self.prompt_tokens += prompt_tokens
+            self.candidates += candidates
+            self.latency_seconds += latency_seconds
+            if batched:
+                self.batches += 1
 
     def merge(self, other: "UsageStats") -> None:
         """Accumulate another tracker's totals into this one."""
-        self.requests += other.requests
-        self.batches += other.batches
-        self.prompts += other.prompts
-        self.prompt_tokens += other.prompt_tokens
-        self.candidates += other.candidates
-        self.latency_seconds += other.latency_seconds
+        with self._lock:
+            self.requests += other.requests
+            self.batches += other.batches
+            self.prompts += other.prompts
+            self.prompt_tokens += other.prompt_tokens
+            self.candidates += other.candidates
+            self.latency_seconds += other.latency_seconds
+
+    def mark_batch(self) -> None:
+        """Count one batch-shaped call without touching the request totals."""
+        with self._lock:
+            self.batches += 1
 
     @property
     def mean_batch_size(self) -> float:
@@ -151,6 +177,10 @@ class UsageStats:
             "candidates": self.candidates,
             "latency_seconds": self.latency_seconds,
         }
+
+
+#: Guards lazy creation of per-client usage trackers under concurrent drains.
+_USAGE_INIT_LOCK = threading.Lock()
 
 
 class LLMClient(abc.ABC):
@@ -171,11 +201,16 @@ class LLMClient(abc.ABC):
         """Aggregated token/latency accounting for this client.
 
         Created lazily so existing subclasses need no ``__init__`` changes.
+        The double-checked creation is guarded by a class-level lock so two
+        threads racing the first access share one tracker.
         """
         stats = getattr(self, "_usage_stats", None)
         if stats is None:
-            stats = UsageStats(model_name=self.name)
-            self._usage_stats = stats
+            with _USAGE_INIT_LOCK:
+                stats = getattr(self, "_usage_stats", None)
+                if stats is None:
+                    stats = UsageStats(model_name=self.name)
+                    self._usage_stats = stats
         return stats
 
     @abc.abstractmethod
@@ -196,7 +231,7 @@ class LLMClient(abc.ABC):
         and only marks that a batch-shaped call happened.
         """
         results = [self.generate(prompt) for prompt in prompts]
-        self.usage.batches += 1
+        self.usage.mark_batch()
         return results
 
     # ------------------------------------------------------------------
@@ -204,7 +239,7 @@ class LLMClient(abc.ABC):
     # ------------------------------------------------------------------
 
     def generate_with_retry(
-        self, prompt: Prompt, policy: RetryPolicy | None = None
+        self, prompt: Prompt, policy: RetryPolicy | None = None, salt: str = ""
     ) -> GenerationResult:
         """:meth:`generate` hardened with retry/backoff/timeout.
 
@@ -212,16 +247,30 @@ class LLMClient(abc.ABC):
         ``policy.max_attempts`` times with jittered exponential backoff;
         terminal errors and exhausted retries propagate.  With no policy this
         is exactly :meth:`generate`.
+
+        ``salt`` namespaces the deterministic backoff jitter (callers pass
+        their tenant/project name): when several tenants hit the same
+        transient backend error on the same SQL at the same moment, distinct
+        salts spread their retries apart instead of letting the whole fleet
+        hammer the backend again in lockstep.
         """
-        return self._resilient_call(lambda: self.generate(prompt), policy, salt=prompt.sql)
+        return self._resilient_call(
+            lambda: self.generate(prompt), policy, salt=_join_salt(salt, prompt.sql)
+        )
 
     def generate_batch_with_retry(
-        self, prompts: list[Prompt], policy: RetryPolicy | None = None
+        self, prompts: list[Prompt], policy: RetryPolicy | None = None, salt: str = ""
     ) -> list[GenerationResult]:
-        """:meth:`generate_batch` hardened with retry/backoff/timeout."""
-        salt = prompts[0].sql if prompts else ""
+        """:meth:`generate_batch` hardened with retry/backoff/timeout.
+
+        ``salt`` de-synchronises backoff across tenants exactly as in
+        :meth:`generate_with_retry`.
+        """
+        base = prompts[0].sql if prompts else ""
         return self._resilient_call(
-            lambda: self.generate_batch(prompts), policy, salt=f"batch:{len(prompts)}:{salt}"
+            lambda: self.generate_batch(prompts),
+            policy,
+            salt=_join_salt(salt, f"batch:{len(prompts)}:{base}"),
         )
 
     def _resilient_call(

@@ -10,7 +10,12 @@ from repro.retrieval.text import (
     sentence_case,
     tokenize_text,
 )
-from repro.retrieval.vector_store import SearchHit, VectorEntry, VectorStore
+from repro.retrieval.vector_store import (
+    SearchHit,
+    ShardedVectorStore,
+    VectorEntry,
+    VectorStore,
+)
 
 __all__ = [
     "AnnotatedExample",
@@ -20,6 +25,7 @@ __all__ = [
     "RetrievedContext",
     "STOPWORDS",
     "SearchHit",
+    "ShardedVectorStore",
     "VectorEntry",
     "VectorStore",
     "character_ngrams",

@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field
 from repro.errors import RetrievalError
 from repro.retrieval.cache import LruDict
 from repro.retrieval.embedding import EmbeddingModel
-from repro.retrieval.vector_store import SearchHit, VectorStore
+from repro.retrieval.vector_store import SearchHit, ShardedVectorStore
 from repro.sql.normalizer import query_skeleton
 
 
@@ -31,10 +31,17 @@ class AnnotatedExample:
 
 
 class ExampleStore:
-    """Vector-indexed store of accepted annotations."""
+    """Vector-indexed store of accepted annotations.
+
+    The index is sharded by dataset (see :class:`ShardedVectorStore`), so in
+    a multi-tenant service each project's retrieval — which always filters on
+    its own dataset — scores only that tenant's shard rather than the global
+    archive.  Rankings are identical to an unsharded index (all shards share
+    one embedding model, so the vectors are the same).
+    """
 
     def __init__(self, model: EmbeddingModel | None = None) -> None:
-        self._store = VectorStore(model)
+        self._store = ShardedVectorStore(model, shard_key="dataset")
         self._examples: dict[str, AnnotatedExample] = {}
         self._skeletons: dict[str, str] = {}
         self._query_skeletons: LruDict[str, str] = LruDict(2048)
@@ -86,6 +93,10 @@ class ExampleStore:
     def all_examples(self) -> list[AnnotatedExample]:
         """All stored examples in insertion order."""
         return list(self._examples.values())
+
+    def shard_sizes(self) -> dict[object, int]:
+        """Example count per dataset shard (multi-tenant introspection)."""
+        return self._store.shard_sizes()
 
     def retrieve(
         self,
@@ -212,9 +223,11 @@ class ExampleStore:
         Skeletons, embedding vectors and IDF state all come from the
         snapshot, so neither re-tokenisation nor re-embedding happens —
         that is what makes warm start fast.  Snapshots from before skeletons
-        were serialised fall back to recomputing them.
+        were serialised fall back to recomputing them, and snapshots written
+        by the pre-sharding single-matrix store migrate transparently (the
+        entries are re-routed into per-dataset shards on load).
         """
-        self._store = VectorStore.from_state(state["vector_store"])
+        self._store = ShardedVectorStore.from_state(state["vector_store"])
         skeletons = state.get("skeletons") or {}
         self._examples = {}
         self._skeletons = {}

@@ -9,6 +9,16 @@ grows geometrically as documents are appended, so a search is a single
 matrix-vector product followed by ``argpartition`` top-k selection instead of
 a Python loop over entries.  Removals tombstone their row and the matrix is
 compacted lazily once tombstones dominate.
+
+For multi-tenant service deployments :class:`ShardedVectorStore` layers
+shard routing on top: documents are partitioned into per-shard matrices by
+one designated metadata key (the archive shards by dataset/database), so a
+search filtered on that key scores only its shard's rows — O(shard) instead
+of O(global archive) — while unfiltered searches merge the per-shard top-k.
+All shards share one :class:`EmbeddingModel`, which keeps the vectors — and
+therefore the rankings — identical to an unsharded store over the same
+documents (scores agree to floating-point rounding; BLAS products over
+differently-partitioned matrices may differ in the last ULP).
 """
 
 from __future__ import annotations
@@ -376,3 +386,274 @@ class VectorStore:
                 )
             )
         return hits
+
+
+#: Sentinel distinguishing "doc not present" from a ``None`` shard key.
+_ABSENT = object()
+
+
+class ShardedVectorStore:
+    """Shard-routing layer over per-shard :class:`VectorStore` matrices.
+
+    Documents are routed to shards by the value of one metadata key
+    (``shard_key``, by default ``"dataset"``); each shard is an ordinary
+    :class:`VectorStore`, and every shard shares one :class:`EmbeddingModel`
+    so vectors and scores are exactly what the unsharded store would have
+    produced for the same add sequence.
+
+    * A search whose ``metadata_filter`` pins the shard key touches only that
+      shard — retrieval cost is O(shard), independent of how many tenants'
+      archives the process holds.
+    * A search without the shard key fans out and merges the per-shard top-k
+      by ``(-score, doc_id)``, reproducing the global ranking bit-for-bit
+      (every global winner is necessarily in its own shard's top-k).
+
+    The class mirrors the :class:`VectorStore` API so stores can be swapped
+    freely; :meth:`from_state` additionally migrates legacy single-matrix
+    snapshots by routing each serialised entry through its metadata.
+    """
+
+    def __init__(self, model: EmbeddingModel | None = None, shard_key: str = "dataset") -> None:
+        self._model = model or EmbeddingModel()
+        self.shard_key = shard_key
+        self._shards: dict[object, VectorStore] = {}
+        self._shard_of: dict[str, object] = {}  # doc_id -> shard value, insertion order
+
+    @property
+    def model(self) -> EmbeddingModel:
+        """The embedding model shared by every shard."""
+        return self._model
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._shard_of
+
+    @property
+    def shard_count(self) -> int:
+        """Number of non-empty shards."""
+        return len(self._shards)
+
+    def shard_sizes(self) -> dict[object, int]:
+        """Document count per shard value (tenancy introspection)."""
+        return {value: len(shard) for value, shard in self._shards.items()}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, doc_id: str, text: str, metadata: dict[str, object] | None = None) -> None:
+        """Add (or replace) a document, routing it to its metadata's shard."""
+        if not doc_id:
+            raise RetrievalError("document id must be non-empty")
+        self._model.observe(text)
+        self._route_entry(doc_id, text, self._model.embed(text), metadata)
+
+    def add_many(self, documents: list[tuple[str, str, dict[str, object]]]) -> None:
+        """Add several documents, observing every text before embedding any.
+
+        Same final-vocabulary guarantee as :meth:`VectorStore.add_many`.
+        """
+        for doc_id, _, _ in documents:
+            if not doc_id:
+                raise RetrievalError("document id must be non-empty")
+        for _, text, _ in documents:
+            self._model.observe(text)
+        for doc_id, text, metadata in documents:
+            self._route_entry(doc_id, text, self._model.embed(text), metadata)
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document; unknown ids raise.  Empty shards are dropped."""
+        value = self._shard_of.get(doc_id, _ABSENT)
+        if value is _ABSENT:
+            raise RetrievalError(f"unknown document id {doc_id!r}")
+        shard = self._shards[value]
+        shard.remove(doc_id)
+        del self._shard_of[doc_id]
+        if not len(shard):
+            del self._shards[value]
+
+    def get(self, doc_id: str) -> VectorEntry:
+        """Fetch a stored document."""
+        value = self._shard_of.get(doc_id, _ABSENT)
+        if value is _ABSENT:
+            raise RetrievalError(f"unknown document id {doc_id!r}")
+        return self._shards[value].get(doc_id)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Top-k cosine search, routed to one shard when the filter allows."""
+        shards = self._route(metadata_filter)
+        if top_k <= 0 or not shards:
+            return []
+        if len(shards) == 1:
+            return shards[0].search(query, top_k, metadata_filter, exclude_ids, min_score)
+        merged: list[SearchHit] = []
+        for shard in shards:
+            merged.extend(shard.search(query, top_k, metadata_filter, exclude_ids, min_score))
+        merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return merged[:top_k]
+
+    def search_ids(
+        self,
+        query: str,
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[str]:
+        """Ranked document ids only (hot path for batch-commit validation)."""
+        shards = self._route(metadata_filter)
+        if top_k <= 0 or not shards:
+            return []
+        if len(shards) == 1:
+            return shards[0].search_ids(query, top_k, metadata_filter, exclude_ids, min_score)
+        return [
+            hit.doc_id
+            for hit in self.search(query, top_k, metadata_filter, exclude_ids, min_score)
+        ]
+
+    def search_batch(
+        self,
+        queries: list[str],
+        top_k: int = 5,
+        metadata_filter: dict[str, object] | None = None,
+        exclude_ids: set[str] | None = None,
+        min_score: float = 0.0,
+    ) -> list[list[SearchHit]]:
+        """Batched :meth:`search`, scoring each query against its shard(s)."""
+        if not queries:
+            return []
+        shards = self._route(metadata_filter)
+        if top_k <= 0 or not shards:
+            return [[] for _ in queries]
+        if len(shards) == 1:
+            return shards[0].search_batch(
+                queries, top_k, metadata_filter, exclude_ids, min_score
+            )
+        per_shard = [
+            shard.search_batch(queries, top_k, metadata_filter, exclude_ids, min_score)
+            for shard in shards
+        ]
+        results: list[list[SearchHit]] = []
+        for index in range(len(queries)):
+            merged: list[SearchHit] = []
+            for shard_hits in per_shard:
+                merged.extend(shard_hits[index])
+            merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+            results.append(merged[:top_k])
+        return results
+
+    def all_ids(self) -> list[str]:
+        """Ids of every stored document (global insertion order)."""
+        return list(self._shard_of)
+
+    # ------------------------------------------------------------------
+    # durability (snapshot) support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe semantic state: shared model + entries in insertion order.
+
+        The entry list is flat (not nested per shard): routing is a pure
+        function of each entry's metadata, so serialising the global order
+        keeps the format forward/backward compatible with the unsharded
+        :meth:`VectorStore.state_dict` layout.
+        """
+        entries = []
+        for doc_id, value in self._shard_of.items():
+            entry = self._shards[value].get(doc_id)
+            entries.append(
+                {
+                    "doc_id": entry.doc_id,
+                    "text": entry.text,
+                    "vector": entry.vector.tolist(),
+                    "metadata": dict(entry.metadata),
+                }
+            )
+        return {
+            "model": self._model.state_dict(),
+            "shard_key": self.shard_key,
+            "entries": entries,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardedVectorStore":
+        """Rebuild a sharded store from :meth:`state_dict` output.
+
+        Legacy snapshots written by the single-matrix :class:`VectorStore`
+        carry the same ``{"model", "entries"}`` layout without a
+        ``shard_key``; they migrate transparently — each entry is routed by
+        its metadata under the default shard key, and searches afterwards
+        rank exactly as the unsharded store did (the stored vectors are
+        reused verbatim, so only last-ULP score rounding can differ).
+        """
+        store = cls(
+            EmbeddingModel.from_state(state["model"]),
+            shard_key=state.get("shard_key", "dataset"),
+        )
+        for entry in state["entries"]:
+            vector = np.asarray(entry["vector"], dtype=np.float64)
+            vector.setflags(write=False)
+            # No observe(): document frequencies were restored with the model,
+            # and these vectors are historical.
+            store._route_entry(entry["doc_id"], entry["text"], vector, entry["metadata"])
+        return store
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _shard_value(self, metadata: dict[str, object] | None) -> object:
+        value = (metadata or {}).get(self.shard_key)
+        try:
+            hash(value)
+        except TypeError:
+            raise RetrievalError(
+                f"shard key {self.shard_key!r} value {value!r} is not hashable"
+            ) from None
+        return value
+
+    def _route_entry(
+        self,
+        doc_id: str,
+        text: str,
+        vector: np.ndarray,
+        metadata: dict[str, object] | None,
+    ) -> None:
+        value = self._shard_value(metadata)
+        previous = self._shard_of.get(doc_id, _ABSENT)
+        if previous is not _ABSENT and previous != value:
+            # Replacement that changes shard: drop the old copy first.
+            old_shard = self._shards[previous]
+            old_shard.remove(doc_id)
+            if not len(old_shard):
+                del self._shards[previous]
+        shard = self._shards.get(value)
+        if shard is None:
+            shard = VectorStore(self._model)
+            self._shards[value] = shard
+        shard._store_entry(doc_id, text, vector, metadata)
+        self._shard_of[doc_id] = value
+
+    def _route(self, metadata_filter: dict[str, object] | None) -> list[VectorStore]:
+        """Shards a filtered search must touch (one when the key is pinned)."""
+        if metadata_filter and self.shard_key in metadata_filter:
+            value = metadata_filter[self.shard_key]
+            try:
+                shard = self._shards.get(value)
+            except TypeError:  # unhashable filter value matches nothing routable
+                return list(self._shards.values())
+            return [shard] if shard is not None else []
+        return list(self._shards.values())

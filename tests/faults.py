@@ -67,25 +67,36 @@ class CrashingJournal(EventJournal):
         self.appends_attempted = 0
 
     def append(self, event_type: str, payload: dict) -> int:
-        self.appends_attempted += 1
-        if self.crash_after is not None and self.appends_attempted >= self.crash_after:
-            if self.torn_bytes is not None:
-                record = encode_record(event_type, payload)
-                self._handle.write(record[: self.torn_bytes])
-                self._handle.flush()
-            raise InjectedCrash(
-                f"injected crash at append #{self.appends_attempted} "
-                f"({event_type}, torn_bytes={self.torn_bytes})"
-            )
-        offset = super().append(event_type, payload)
-        # Write through after every surviving append.  Group commit buffers
-        # appends in userspace, so a real crash loses everything since the
-        # last commit — always legal, but it would make every clean-crash
-        # sweep recover from an *empty* prefix.  Flushing here pins the
-        # richest durable prefix the scanner can ever face, so the sweep
-        # exercises recovery at every record boundary.
-        self._handle.flush()
-        return offset
+        # Take the journal's (re-entrant) lock for the whole fault decision,
+        # torn write and write-through, so the injected fault stays atomic
+        # even when concurrent drain workers append from several threads:
+        # the attempt counter never races and a torn prefix can't interleave
+        # with another thread's whole record.  Once the crash point is
+        # reached, *every* subsequent append from any thread dies too — a
+        # crashed process does not keep journaling.
+        with self._lock:
+            self.appends_attempted += 1
+            if self.crash_after is not None and self.appends_attempted >= self.crash_after:
+                # Only the append that first crosses the crash point tears the
+                # tail; later appends (other drain workers) just die, exactly
+                # like threads of an already-dead process.
+                if self.torn_bytes is not None and self.appends_attempted == self.crash_after:
+                    record = encode_record(event_type, payload)
+                    self._handle.write(record[: self.torn_bytes])
+                    self._handle.flush()
+                raise InjectedCrash(
+                    f"injected crash at append #{self.appends_attempted} "
+                    f"({event_type}, torn_bytes={self.torn_bytes})"
+                )
+            offset = super().append(event_type, payload)
+            # Write through after every surviving append.  Group commit buffers
+            # appends in userspace, so a real crash loses everything since the
+            # last commit — always legal, but it would make every clean-crash
+            # sweep recover from an *empty* prefix.  Flushing here pins the
+            # richest durable prefix the scanner can ever face, so the sweep
+            # exercises recovery at every record boundary.
+            self._handle.flush()
+            return offset
 
 
 class FlakyLLM(LLMClient):

@@ -9,6 +9,7 @@ from repro.retrieval import (
     ContextRetriever,
     EmbeddingModel,
     ExampleStore,
+    ShardedVectorStore,
     VectorStore,
     character_ngrams,
     cosine_similarity,
@@ -355,6 +356,148 @@ class TestVectorizedStore:
         batch = VectorStore(EmbeddingModel(dimensions=64))
         batch.add_many(documents)
         assert not np.allclose(sequential.get("a").vector, batch.get("a").vector)
+
+
+class TestCompactionFilteredSearch:
+    """Filtered search_batch/search_ids right after remove-triggered
+    compaction — the meta-mask remap is exactly what these exercise."""
+
+    DATASETS = ["beaver", "hr", "it"]
+
+    def _store(self):
+        store = VectorStore()
+        for index in range(15):
+            dataset = self.DATASETS[index % len(self.DATASETS)]
+            store.add(
+                f"doc-{index:02d}",
+                f"{dataset} corpus record number {index}",
+                {"dataset": dataset},
+            )
+        # Warm every filter's lazy mask *before* compaction so the test
+        # covers the mask-remap path rather than a fresh rebuild.
+        for dataset in self.DATASETS:
+            store.search("record", top_k=2, metadata_filter={"dataset": dataset})
+        return store
+
+    def _force_compaction(self, store):
+        # 8 removals out of 15 rows: >= 8 dead and > 50% dead, so the last
+        # remove triggers lazy compaction.
+        for index in range(8):
+            store.remove(f"doc-{index:02d}")
+        assert store._dead_rows == 0  # compaction actually ran
+        assert len(store) == 7
+
+    def test_search_ids_with_filter_after_compaction(self):
+        store = self._store()
+        self._force_compaction(store)
+        for dataset in self.DATASETS:
+            expected = _reference_search(
+                store, "corpus record", top_k=5, metadata_filter={"dataset": dataset}
+            )
+            assert store.search_ids(
+                "corpus record", top_k=5, metadata_filter={"dataset": dataset}
+            ) == [doc_id for doc_id, _ in expected]
+
+    def test_search_batch_with_filter_after_compaction(self):
+        store = self._store()
+        self._force_compaction(store)
+        queries = ["corpus record", "record number 10", "record number 14"]
+        for dataset in self.DATASETS:
+            batched = store.search_batch(
+                queries, top_k=4, metadata_filter={"dataset": dataset}
+            )
+            for query, hits in zip(queries, batched):
+                expected = _reference_search(
+                    store, query, top_k=4, metadata_filter={"dataset": dataset}
+                )
+                assert [(hit.doc_id, pytest.approx(hit.score)) for hit in hits] == [
+                    (doc_id, pytest.approx(score)) for doc_id, score in expected
+                ]
+
+    def test_filter_masks_track_post_compaction_adds(self):
+        store = self._store()
+        self._force_compaction(store)
+        store.add("doc-99", "hr corpus record number 99", {"dataset": "hr"})
+        ids = store.search_ids(
+            "record number 99", top_k=3, metadata_filter={"dataset": "hr"}
+        )
+        assert ids[0] == "doc-99"
+        # A removed document never reappears through a stale mask.
+        assert "doc-00" not in store.search_ids(
+            "corpus record", top_k=15, metadata_filter={"dataset": "beaver"}
+        )
+
+
+class TestShardedVectorStore:
+    DOCS = [
+        ("d01", "count students per term", {"dataset": "beaver"}),
+        ("d02", "average salary per department", {"dataset": "hr"}),
+        ("d03", "count students per campus", {"dataset": "beaver"}),
+        ("d04", "network device inventory report", {"dataset": "it"}),
+        ("d05", "salary of employees by department", {"dataset": "hr"}),
+        ("d06", "terms with highest enrollment", {"dataset": "beaver"}),
+    ]
+
+    def _both_stores(self):
+        flat = VectorStore(EmbeddingModel(dimensions=64))
+        sharded = ShardedVectorStore(EmbeddingModel(dimensions=64))
+        for doc_id, text, metadata in self.DOCS:
+            flat.add(doc_id, text, dict(metadata))
+            sharded.add(doc_id, text, dict(metadata))
+        return flat, sharded
+
+    def test_sharding_is_score_transparent(self):
+        # Rankings match the flat store exactly; scores match to floating-
+        # point rounding (BLAS products over differently-partitioned
+        # matrices can differ in the last ULP).
+        flat, sharded = self._both_stores()
+        for query in ("count students", "salary department", "device inventory"):
+            for metadata_filter in (None, {"dataset": "beaver"}, {"dataset": "hr"}):
+                expected = flat.search(query, top_k=4, metadata_filter=metadata_filter)
+                actual = sharded.search(query, top_k=4, metadata_filter=metadata_filter)
+                assert [(h.doc_id, pytest.approx(h.score)) for h in actual] == [
+                    (h.doc_id, pytest.approx(h.score)) for h in expected
+                ]
+
+    def test_filtered_search_touches_one_shard(self):
+        _, sharded = self._both_stores()
+        assert sharded.shard_count == 3
+        assert sharded.shard_sizes() == {"beaver": 3, "hr": 2, "it": 1}
+
+    def test_legacy_snapshot_migrates_into_shards(self):
+        flat, _ = self._both_stores()
+        migrated = ShardedVectorStore.from_state(flat.state_dict())
+        assert migrated.shard_count == 3
+        assert sorted(migrated.all_ids()) == sorted(flat.all_ids())
+        for query in ("count students", "salary department"):
+            expected = flat.search(query, top_k=4)
+            actual = migrated.search(query, top_k=4)
+            assert [(h.doc_id, pytest.approx(h.score)) for h in actual] == [
+                (h.doc_id, pytest.approx(h.score)) for h in expected
+            ]
+
+    def test_sharded_state_roundtrip(self):
+        _, sharded = self._both_stores()
+        clone = ShardedVectorStore.from_state(sharded.state_dict())
+        assert clone.shard_sizes() == sharded.shard_sizes()
+        query = "count students per term"
+        assert [(h.doc_id, h.score) for h in clone.search(query, top_k=4)] == [
+            (h.doc_id, h.score) for h in sharded.search(query, top_k=4)
+        ]
+
+    def test_cross_shard_replacement_moves_document(self):
+        _, sharded = self._both_stores()
+        sharded.add("d04", "invoices awaiting approval", {"dataset": "fin"})
+        assert len(sharded) == len(self.DOCS)
+        assert sharded.shard_sizes() == {"beaver": 3, "hr": 2, "fin": 1}
+        hits = sharded.search("invoices", top_k=1, metadata_filter={"dataset": "fin"})
+        assert [hit.doc_id for hit in hits] == ["d04"]
+
+    def test_remove_drops_empty_shard(self):
+        _, sharded = self._both_stores()
+        sharded.remove("d04")
+        assert "it" not in sharded.shard_sizes()
+        assert "d04" not in sharded
 
 
 class TestRetrievalCaches:
