@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
@@ -34,6 +35,12 @@ import pytest
 
 from repro.core import AnnotationService, TaskConfig
 from repro.llm import SimulatedLLM
+
+# Running as a script (``python benchmarks/bench_concurrency.py``) puts only
+# ``benchmarks/`` on sys.path; the repo root is needed for ``tests.faults``.
+_REPO_ROOT = str(Path(__file__).resolve().parents[1])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 from tests.faults import SlowLLM
 

@@ -40,11 +40,13 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import JournalError
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 #: Header layout: payload length then CRC32 of the payload, both uint32 LE.
 _HEADER = struct.Struct("<II")
@@ -101,6 +103,11 @@ class EventJournal:
     scheduler's worker threads.
     """
 
+    #: Observability sink for append/fsync accounting.  Class-level no-op
+    #: default keeps ``__init__`` signatures stable; the service overwrites
+    #: it per instance when telemetry is attached.
+    telemetry: Telemetry = NULL_TELEMETRY
+
     def __init__(self, path: str | Path, fsync: str = "batch") -> None:
         if fsync not in FSYNC_POLICIES:
             raise JournalError(
@@ -143,14 +150,23 @@ class EventJournal:
         except (TypeError, ValueError) as exc:
             raise JournalError(f"event payload is not JSON-serialisable: {exc}") from exc
         record = _HEADER.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
+        tel = self.telemetry
         with self._lock:
             if self._handle is None:
                 raise JournalError(f"journal {self.path} is closed")
             try:
                 self._handle.write(record)
                 if self.fsync_policy == "always":
+                    started = time.perf_counter() if tel.enabled else 0.0
                     self._handle.flush()
                     os.fsync(self._handle.fileno())
+                    if tel.enabled:
+                        tel.count("journal_fsyncs_total", policy="always")
+                        tel.observe(
+                            "journal_fsync_seconds",
+                            time.perf_counter() - started,
+                            policy="always",
+                        )
                 else:
                     self._dirty = True
             except OSError as exc:
@@ -159,17 +175,29 @@ class EventJournal:
                 ) from exc
             offset = self._record_count
             self._record_count += 1
+            if tel.enabled:
+                tel.count("journal_appends_total", type=event_type)
+                tel.count("journal_bytes_total", len(record))
             return offset
 
     def commit(self) -> None:
         """Group-commit point: make everything appended so far durable."""
+        tel = self.telemetry
         with self._lock:
             if self._handle is None or not self._dirty:
                 return
             try:
+                started = time.perf_counter() if tel.enabled else 0.0
                 self._handle.flush()
                 if self.fsync_policy != "never":
                     os.fsync(self._handle.fileno())
+                if tel.enabled:
+                    tel.count("journal_fsyncs_total", policy=self.fsync_policy)
+                    tel.observe(
+                        "journal_fsync_seconds",
+                        time.perf_counter() - started,
+                        policy=self.fsync_policy,
+                    )
             except OSError as exc:
                 raise JournalError(f"failed to sync journal {self.path}: {exc}") from exc
             self._dirty = False

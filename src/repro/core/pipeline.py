@@ -27,6 +27,7 @@ exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.config import TaskConfig
@@ -36,6 +37,7 @@ from repro.errors import PipelineError
 from repro.llm.base import LLMClient
 from repro.llm.prompts import Prompt, PromptBuilder
 from repro.llm.simulated import SimulatedLLM
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.retrieval.retriever import ContextRetriever, RetrievedContext
 from repro.schema.model import DatabaseSchema
 from repro.sql.analyzer import is_nested
@@ -146,6 +148,8 @@ class AnnotationPipeline:
         self._retry_salt = dataset_name
         self._journal: EventJournal | None = None
         self._journal_project = dataset_name
+        #: Observability sink; no-op unless a service injects a live one.
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # durability
@@ -164,6 +168,21 @@ class AnnotationPipeline:
         self._journal = journal
         if project is not None:
             self._journal_project = project
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Propagate one telemetry sink through this pipeline's components.
+
+        Covers the LLM client (call/retry/backoff accounting) and the example
+        archive's vector store (search accounting) in addition to the
+        pipeline itself; passing :data:`~repro.obs.NULL_TELEMETRY` detaches.
+        """
+        self.telemetry = telemetry
+        self.llm.telemetry = telemetry
+        self.retriever.example_store.attach_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     # candidate generation (steps 3.5 - 5.5)
@@ -414,6 +433,20 @@ class AnnotationPipeline:
     ) -> list[AnnotationRecord]:
         if commit_tags is None:
             commit_tags = [None] * len(statements)
+        tel = self.telemetry
+        with tel.span(
+            "pipeline.wave", project=self.dataset_name, size=len(statements)
+        ):
+            return self._run_wave_body(statements, query_ids, stats, commit_tags, tel)
+
+    def _run_wave_body(
+        self,
+        statements: list[str],
+        query_ids: list[str | None],
+        stats: WaveStats,
+        commit_tags: list,
+        tel: Telemetry,
+    ) -> list[AnnotationRecord]:
         # Phase 1 — parse and decompose every statement in the wave.
         items: list[_WaveItem] = []
         for sql, query_id, commit_tag in zip(statements, query_ids, commit_tags):
@@ -463,9 +496,17 @@ class AnnotationPipeline:
         ]
 
         # Phase 3 — one batched generation call for the whole wave.
+        llm_started = time.perf_counter() if tel.enabled else 0.0
         results = self.llm.generate_batch_with_retry(
             prompts, self._retry_policy, salt=self._retry_salt
         )
+        if tel.enabled:
+            tel.observe(
+                "pipeline_wave_llm_seconds",
+                time.perf_counter() - llm_started,
+                project=self.dataset_name,
+                model=self.llm.name,
+            )
         cursor = 0
         for item in items:
             item.contexts = contexts[cursor : cursor + len(item.unit_sqls)]
@@ -676,6 +717,9 @@ class WaveRun:
         )
         self._size = wave_size if archive_warm else 1
         self._finished = False
+        # Monotonic end time of the previous wave; the gap to the next
+        # wave's start is the run's scheduler queue wait.
+        self._last_advance: float | None = None
 
     @property
     def done(self) -> bool:
@@ -708,9 +752,25 @@ class WaveRun:
             if self._commit_tags is not None
             else [None] * len(wave_statements)
         )
+        tel = self.pipeline.telemetry
+        if tel.enabled:
+            now = time.perf_counter()
+            if self._last_advance is not None:
+                tel.observe(
+                    "pipeline_wave_queue_wait_seconds",
+                    now - self._last_advance,
+                    project=self.pipeline.dataset_name,
+                )
+            tel.observe_size(
+                "pipeline_wave_size",
+                len(wave_statements),
+                project=self.pipeline.dataset_name,
+            )
         wave_records = self.pipeline._run_wave(
             wave_statements, wave_ids, self.stats, wave_tags
         )
+        if tel.enabled:
+            self._last_advance = time.perf_counter()
         self.stats.waves += 1
         self._start += len(wave_statements)
         self._size = min(self._wave_size, size * 2)

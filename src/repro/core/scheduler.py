@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.pipeline import WaveRun
 from repro.errors import JournalError, PipelineError
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["WaveScheduler"]
 
@@ -52,10 +53,13 @@ class WaveScheduler:
     round (the barrier still holds).
     """
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(
+        self, max_workers: int = 4, telemetry: Telemetry | None = None
+    ) -> None:
         if max_workers < 1:
             raise PipelineError("scheduler max_workers must be at least 1")
         self.max_workers = max_workers
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Rounds executed by the most recent :meth:`run_all` call.
         self.rounds = 0
 
@@ -74,11 +78,15 @@ class WaveScheduler:
         active = {project: run for project, run in runs.items() if not run.done}
         if not active:
             return errors
+        tel = self.telemetry
         with ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="wave"
         ) as pool:
             while active:
                 self.rounds += 1
+                if tel.enabled:
+                    tel.count("scheduler_rounds_total")
+                    tel.observe_size("scheduler_round_active_projects", len(active))
                 futures = [
                     (project, pool.submit(active[project].run_next_wave))
                     for project in list(active)

@@ -40,6 +40,8 @@ and a job that still fails is quarantined as a failed
 from __future__ import annotations
 
 import threading
+import time
+import traceback as traceback_module
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -67,11 +69,26 @@ from repro.core.feedback import Feedback
 from repro.core.scheduler import WaveScheduler
 from repro.errors import BackpressureError, JournalError, PipelineError
 from repro.llm.base import LLMClient, UsageStats
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.schema.model import DatabaseSchema
 
 #: Optional factory recreating custom LLM clients during recovery, keyed by
 #: project name; return ``None`` to use the default simulated client.
 LLMFactory = Callable[[str], "LLMClient | None"]
+
+#: Quarantined tracebacks are truncated to this many characters (keeping the
+#: tail, where the raise site is) before being stored and journaled.
+MAX_TRACEBACK_CHARS = 2000
+
+
+def format_quarantine_traceback(exc: BaseException) -> str:
+    """Render ``exc``'s traceback, truncated to :data:`MAX_TRACEBACK_CHARS`."""
+    rendered = "".join(
+        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    if len(rendered) > MAX_TRACEBACK_CHARS:
+        rendered = "... (truncated)\n" + rendered[-MAX_TRACEBACK_CHARS:]
+    return rendered
 
 
 @dataclass
@@ -95,6 +112,11 @@ class CompletedJob:
     job: AnnotationJob
     record: AnnotationRecord | None
     error: str = ""
+    #: Exception class name for failed jobs (``""`` on success) — lets the
+    #: quarantine counters break failures down by cause.
+    error_type: str = ""
+    #: Truncated traceback of the failure (``""`` on success).
+    traceback: str = ""
 
     @property
     def failed(self) -> bool:
@@ -132,6 +154,9 @@ class ServiceStats:
     waves: int = 0
     batched_queries: int = 0
     regenerated_queries: int = 0
+    #: LLM round trips observed across drains (journaled per drain, so the
+    #: counter survives crash/recover like the other drain accounting).
+    llm_requests: int = 0
     usage_by_model: dict[str, UsageStats] = field(default_factory=dict)
     per_project: dict[str, ProjectStats] = field(default_factory=dict)
 
@@ -167,12 +192,15 @@ class ServiceStats:
             self.failed += count
             self.per_project.setdefault(project, ProjectStats()).failed += count
 
-    def note_drain(self, waves: int, batched: int, regenerated: int) -> None:
+    def note_drain(
+        self, waves: int, batched: int, regenerated: int, llm_requests: int = 0
+    ) -> None:
         """Fold one drain's wave accounting into the totals."""
         with self._lock:
             self.waves += waves
             self.batched_queries += batched
             self.regenerated_queries += regenerated
+            self.llm_requests += llm_requests
 
 
 class AnnotationService:
@@ -186,11 +214,19 @@ class AnnotationService:
     bit-identical either way.
     """
 
-    def __init__(self, default_project: str = "default", max_concurrency: int = 1) -> None:
+    def __init__(
+        self,
+        default_project: str = "default",
+        max_concurrency: int = 1,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if max_concurrency < 1:
             raise PipelineError("max_concurrency must be at least 1")
         self._default_project = default_project
         self.max_concurrency = max_concurrency
+        #: Injected observability sink; the no-op default keeps every
+        #: instrumented path bit-identical and effectively free.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._pipelines: dict[str, AnnotationPipeline] = {}
         self._queue: list[AnnotationJob] = []
         self._pending_by_project: dict[str, int] = {}
@@ -222,6 +258,7 @@ class AnnotationService:
         pipeline = AnnotationPipeline(
             schema=schema, config=config, llm=llm, dataset_name=name
         )
+        pipeline.attach_telemetry(self.telemetry)
         self._pipelines[name] = pipeline
         if self._journal is not None:
             self._journal.append(
@@ -270,6 +307,12 @@ class AnnotationService:
         limit = self._pipelines[name].config.max_pending_per_project
         queued = self._pending_by_project.get(name, 0)
         if limit > 0 and queued >= limit:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("service_backpressure_total", project=name)
+                tel.event(
+                    "submit_rejected", project=name, pending=queued, limit=limit
+                )
             raise BackpressureError(
                 f"project {name!r} already has {queued} pending jobs "
                 f"(max_pending_per_project={limit}); drain before resubmitting"
@@ -281,6 +324,10 @@ class AnnotationService:
         self._queue.append(job)
         self._pending_by_project[name] = queued + 1
         self.stats.note_submitted(name)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("service_jobs_submitted_total", project=name)
+            tel.gauge("service_pending_jobs", len(self._queue))
         if self._journal is not None:
             self._journal.append(
                 JOB_SUBMITTED,
@@ -361,45 +408,69 @@ class AnnotationService:
         for job in taken:
             by_project.setdefault(job.project, []).append(job)
 
-        if workers > 1 and len(by_project) > 1:
-            completed, drain_waves, drain_batched, drain_regenerated = (
-                self._drain_concurrent(by_project, workers)
+        tel = self.telemetry
+        drain_started = time.perf_counter() if tel.enabled else 0.0
+        with tel.span(
+            "service.drain",
+            jobs=len(taken),
+            projects=len(by_project),
+            concurrency=workers,
+        ):
+            if workers > 1 and len(by_project) > 1:
+                completed, drain_waves, drain_batched, drain_regenerated, drain_llm = (
+                    self._drain_concurrent(by_project, workers)
+                )
+            else:
+                completed = []
+                drain_waves = drain_batched = drain_regenerated = drain_llm = 0
+                for project, jobs in by_project.items():
+                    items, waves, batched, regenerated, llm_requests = (
+                        self._drain_project(project, jobs)
+                    )
+                    completed.extend(items)
+                    drain_waves += waves
+                    drain_batched += batched
+                    drain_regenerated += regenerated
+                    drain_llm += llm_requests
+            for item in completed:
+                if not item.failed:
+                    self.stats.note_completed(item.job.project)
+            self.stats.note_drain(
+                drain_waves, drain_batched, drain_regenerated, drain_llm
             )
-        else:
-            completed = []
-            drain_waves = drain_batched = drain_regenerated = 0
-            for project, jobs in by_project.items():
-                items, waves, batched, regenerated = self._drain_project(project, jobs)
-                completed.extend(items)
-                drain_waves += waves
-                drain_batched += batched
-                drain_regenerated += regenerated
-        for item in completed:
-            if not item.failed:
-                self.stats.note_completed(item.job.project)
-        self.stats.note_drain(drain_waves, drain_batched, drain_regenerated)
-        self._refresh_usage()
-        if self._journal is not None:
-            self._journal.append(
-                DRAIN_STATS,
-                {
-                    "waves": drain_waves,
-                    "batched_queries": drain_batched,
-                    "regenerated_queries": drain_regenerated,
-                },
+            self._refresh_usage()
+            if self._journal is not None:
+                self._journal.append(
+                    DRAIN_STATS,
+                    {
+                        "waves": drain_waves,
+                        "batched_queries": drain_batched,
+                        "regenerated_queries": drain_regenerated,
+                        "llm_requests": drain_llm,
+                    },
+                )
+                self._journal.commit()  # group-commit point for "batch" fsync
+                self.maybe_snapshot()
+        if tel.enabled:
+            tel.observe(
+                "service_drain_seconds", time.perf_counter() - drain_started
             )
-            self._journal.commit()  # group-commit point for "batch" fsync
-            self.maybe_snapshot()
+            for item in completed:
+                if not item.failed:
+                    tel.count(
+                        "service_jobs_completed_total", project=item.job.project
+                    )
+            tel.gauge("service_pending_jobs", len(self._queue))
         return completed
 
     def _drain_project(
         self, project: str, jobs: list[AnnotationJob]
-    ) -> tuple[list[CompletedJob], int, int, int]:
+    ) -> tuple[list[CompletedJob], int, int, int, int]:
         """Run one project's jobs to completion on the calling thread.
 
-        Returns ``(completed, waves, batched, regenerated)``; the wave
-        counters are zero when the batched path raised and the group fell
-        back to per-job processing (matching the historical accounting).
+        Returns ``(completed, waves, batched, regenerated, llm_requests)``;
+        the wave counters are zero when the batched path raised and the group
+        fell back to per-job processing (matching the historical accounting).
         """
         pipeline = self._pipelines[project]
         records_before = len(pipeline.annotations)
@@ -414,7 +485,13 @@ class AnnotationService:
                 CompletedJob(job=job, record=record)
                 for job, record in zip(jobs, records)
             ]
-            return completed, run.waves, run.batched_queries, run.regenerated_queries
+            return (
+                completed,
+                run.waves,
+                run.batched_queries,
+                run.regenerated_queries,
+                run.llm_requests,
+            )
         except JournalError:
             raise
         except Exception:
@@ -422,7 +499,13 @@ class AnnotationService:
             # everything after it — including the job that raised — is
             # retried individually so one bad statement cannot sink its
             # wave-mates.
-            return self._recover_project_drain(project, jobs, records_before), 0, 0, 0
+            return (
+                self._recover_project_drain(project, jobs, records_before),
+                0,
+                0,
+                0,
+                0,
+            )
 
     def _recover_project_drain(
         self, project: str, jobs: list[AnnotationJob], records_before: int
@@ -440,7 +523,7 @@ class AnnotationService:
 
     def _drain_concurrent(
         self, by_project: dict[str, list[AnnotationJob]], workers: int
-    ) -> tuple[list[CompletedJob], int, int, int]:
+    ) -> tuple[list[CompletedJob], int, int, int, int]:
         """Advance every project's waves round-by-round through a worker pool.
 
         Results are assembled in ``by_project`` order after the scheduler
@@ -459,16 +542,17 @@ class AnnotationService:
                 query_ids=[job.query_id for job in jobs],
                 commit_tags=[job.job_id for job in jobs],
             )
-        scheduler = WaveScheduler(max_workers=workers)
+        scheduler = WaveScheduler(max_workers=workers, telemetry=self.telemetry)
         errors = scheduler.run_all(runs)
         completed: list[CompletedJob] = []
-        waves = batched = regenerated = 0
+        waves = batched = regenerated = llm_requests = 0
         for project, jobs in by_project.items():
             run = runs[project]
             if project not in errors:
                 waves += run.stats.waves
                 batched += run.stats.batched_queries
                 regenerated += run.stats.regenerated_queries
+                llm_requests += run.stats.llm_requests
                 completed.extend(
                     CompletedJob(job=job, record=record)
                     for job, record in zip(jobs, run.records)
@@ -479,7 +563,7 @@ class AnnotationService:
                         project, jobs, records_before[project]
                     )
                 )
-        return completed, waves, batched, regenerated
+        return completed, waves, batched, regenerated, llm_requests
 
     def _drain_sequentially(
         self, pipeline: AnnotationPipeline, jobs: list[AnnotationJob]
@@ -499,11 +583,34 @@ class AnnotationService:
         return results
 
     def _fail_job(self, job: AnnotationJob, exc: Exception) -> CompletedJob:
-        """Quarantine one failing job (journaled, counted, returned)."""
+        """Quarantine one failing job (journaled, counted, returned).
+
+        The full failure detail — exception class and a truncated traceback,
+        not just the message — is kept on the :class:`CompletedJob` and in the
+        journaled ``job_failed`` record, so quarantine counters broken down by
+        ``error_type`` point at an actionable cause.
+        """
         error = f"{type(exc).__name__}: {exc}"
-        failed = CompletedJob(job=job, record=None, error=error)
+        error_type = type(exc).__name__
+        trace = format_quarantine_traceback(exc)
+        failed = CompletedJob(
+            job=job, record=None, error=error, error_type=error_type, traceback=trace
+        )
         self.quarantine.append(failed)
         self.stats.note_failed(job.project)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count(
+                "service_jobs_quarantined_total",
+                project=job.project,
+                error_type=error_type,
+            )
+            tel.event(
+                "job_quarantined",
+                project=job.project,
+                job_id=job.job_id,
+                error_type=error_type,
+            )
         if self._journal is not None:
             self._journal.append(
                 JOB_FAILED,
@@ -513,6 +620,8 @@ class AnnotationService:
                     "sql": job.sql,
                     "query_id": job.query_id,
                     "error": error,
+                    "error_type": error_type,
+                    "traceback": trace,
                 },
             )
         return failed
@@ -562,7 +671,9 @@ class AnnotationService:
         self._journal = journal
         self._snapshots = snapshots
         self._snapshot_every = snapshot_every
+        journal.telemetry = self.telemetry
         if snapshots is not None:
+            snapshots.telemetry = self.telemetry
             covered = [
                 offset for offset in snapshots.offsets()
                 if offset <= journal.record_count
@@ -615,7 +726,12 @@ class AnnotationService:
             "next_job_id": self._next_job_id,
             "queue": [asdict(job) for job in self._queue],
             "quarantine": [
-                {"job": asdict(item.job), "error": item.error}
+                {
+                    "job": asdict(item.job),
+                    "error": item.error,
+                    "error_type": item.error_type,
+                    "traceback": item.traceback,
+                }
                 for item in self.quarantine
             ],
             "projects": {
@@ -631,6 +747,7 @@ class AnnotationService:
                 "waves": self.stats.waves,
                 "batched_queries": self.stats.batched_queries,
                 "regenerated_queries": self.stats.regenerated_queries,
+                "llm_requests": self.stats.llm_requests,
                 "per_project": {
                     name: asdict(project_stats)
                     for name, project_stats in self.stats.per_project.items()
@@ -645,7 +762,11 @@ class AnnotationService:
         self._queue = [AnnotationJob(**job) for job in state["queue"]]
         self.quarantine = [
             CompletedJob(
-                job=AnnotationJob(**item["job"]), record=None, error=item["error"]
+                job=AnnotationJob(**item["job"]),
+                record=None,
+                error=item["error"],
+                error_type=item.get("error_type", ""),
+                traceback=item.get("traceback", ""),
             )
             for item in state["quarantine"]
         ]
@@ -657,7 +778,9 @@ class AnnotationService:
         self._pipelines = {}
         for name, pipeline_state in state["projects"].items():
             llm = llm_factory(name) if llm_factory is not None else None
-            self._pipelines[name] = restore_pipeline_state(name, pipeline_state, llm=llm)
+            pipeline = restore_pipeline_state(name, pipeline_state, llm=llm)
+            pipeline.attach_telemetry(self.telemetry)
+            self._pipelines[name] = pipeline
         self.stats = ServiceStats()
         stats = state.get("stats")
         if stats:
@@ -667,6 +790,7 @@ class AnnotationService:
             self.stats.waves = int(stats["waves"])
             self.stats.batched_queries = int(stats["batched_queries"])
             self.stats.regenerated_queries = int(stats["regenerated_queries"])
+            self.stats.llm_requests = int(stats.get("llm_requests", 0))
             for name, entry in stats.get("per_project", {}).items():
                 self.stats.per_project[name] = ProjectStats(
                     submitted=int(entry["submitted"]),
@@ -684,6 +808,7 @@ class AnnotationService:
         snapshot_every: int = 0,
         llm_factory: LLMFactory | None = None,
         max_concurrency: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> "AnnotationService":
         """Rebuild a service from its journal (and snapshots) and go live.
 
@@ -695,7 +820,11 @@ class AnnotationService:
         too, so it doubles as the "open durable service" entry point.
         """
         journal = EventJournal(journal_path, fsync=fsync)
-        service = cls(default_project=default_project, max_concurrency=max_concurrency)
+        service = cls(
+            default_project=default_project,
+            max_concurrency=max_concurrency,
+            telemetry=telemetry,
+        )
         start = 0
         if snapshots is not None:
             loaded = snapshots.latest(max_offset=journal.record_count)
@@ -717,6 +846,7 @@ class AnnotationService:
         keep_snapshots: int = 3,
         llm_factory: LLMFactory | None = None,
         max_concurrency: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> "AnnotationService":
         """Open (creating or recovering) a durable service rooted at a directory.
 
@@ -732,6 +862,7 @@ class AnnotationService:
             snapshot_every=snapshot_every,
             llm_factory=llm_factory,
             max_concurrency=max_concurrency,
+            telemetry=telemetry,
         )
 
     def _replay_event(
@@ -750,12 +881,14 @@ class AnnotationService:
             if name in self._pipelines:  # covered by the snapshot already
                 return
             llm = llm_factory(name) if llm_factory is not None else None
-            self._pipelines[name] = AnnotationPipeline(
+            pipeline = AnnotationPipeline(
                 schema=schema_from_state(payload["schema"]),
                 config=TaskConfig.from_dict(payload["config"]),
                 llm=llm,
                 dataset_name=name,
             )
+            pipeline.attach_telemetry(self.telemetry)
+            self._pipelines[name] = pipeline
         elif event.type == JOB_SUBMITTED:
             job = AnnotationJob(
                 job_id=payload["job_id"],
@@ -805,7 +938,14 @@ class AnnotationService:
                 query_id=payload["query_id"],
             )
             self.quarantine.append(
-                CompletedJob(job=job, record=None, error=payload["error"])
+                CompletedJob(
+                    job=job,
+                    record=None,
+                    error=payload["error"],
+                    # Old journals predate the detail fields; tolerate both.
+                    error_type=payload.get("error_type", ""),
+                    traceback=payload.get("traceback", ""),
+                )
             )
             self.stats.note_failed(payload["project"])
         elif event.type == DRAIN_STATS:
@@ -813,6 +953,7 @@ class AnnotationService:
                 payload["waves"],
                 payload["batched_queries"],
                 payload["regenerated_queries"],
+                payload.get("llm_requests", 0),
             )
         else:
             raise JournalError(

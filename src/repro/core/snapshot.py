@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import asdict
 from pathlib import Path
@@ -28,6 +29,7 @@ from typing import TYPE_CHECKING
 from repro.core.config import TaskConfig
 from repro.core.pipeline import AnnotationPipeline, AnnotationRecord
 from repro.errors import SnapshotError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.schema.model import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -127,6 +129,10 @@ class SnapshotManager:
     from that offset.  Only the newest ``keep`` snapshots are retained.
     """
 
+    #: Observability sink for snapshot-write accounting (class-level no-op
+    #: default; the service overwrites it per instance).
+    telemetry: Telemetry = NULL_TELEMETRY
+
     def __init__(self, directory: str | Path, keep: int = 3) -> None:
         if keep < 1:
             raise SnapshotError("must keep at least one snapshot")
@@ -170,6 +176,8 @@ class SnapshotManager:
         )
         path = self.path_for(offset)
         tmp_path = path.with_suffix(".tmp")
+        tel = self.telemetry
+        started = time.perf_counter() if tel.enabled else 0.0
         try:
             with open(tmp_path, "w", encoding="utf-8") as handle:
                 handle.write(document)
@@ -178,6 +186,10 @@ class SnapshotManager:
             os.replace(tmp_path, path)
         except OSError as exc:
             raise SnapshotError(f"failed to write snapshot {path}: {exc}") from exc
+        if tel.enabled:
+            tel.count("snapshot_writes_total")
+            tel.count("snapshot_bytes_total", len(document))
+            tel.observe("snapshot_write_seconds", time.perf_counter() - started)
         self._prune()
         return path
 

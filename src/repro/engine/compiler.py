@@ -31,6 +31,7 @@ mirroring ``Executor._evaluate_aggregate_aware``.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.engine.functions import SCALAR_FUNCTIONS, call_aggregate
@@ -87,28 +88,53 @@ class CannotCompile(Exception):
     """Internal control flow: the expression must run on the interpreter."""
 
 
+@dataclass
+class CompileCounters:
+    """Tallies of compile outcomes, shared by an executor across calls.
+
+    EXPLAIN ANALYZE reports the per-query delta of these counters, making
+    interpreter fallbacks (correlated subqueries, unknown functions, ...)
+    visible without touching the compiled closures themselves.
+    """
+
+    compiled: int = 0
+    fallbacks: int = 0
+
+
 def compile_row_expression(
     expression: Expression,
     relation: Relation,
     subqueries: SubqueryHandler | None = None,
+    counters: CompileCounters | None = None,
 ) -> RowFn | None:
     """Compile an expression against a relation, or ``None`` if unsupported."""
     try:
-        return _row(expression, relation, subqueries)
+        compiled = _row(expression, relation, subqueries)
     except CannotCompile:
+        if counters is not None:
+            counters.fallbacks += 1
         return None
+    if counters is not None:
+        counters.compiled += 1
+    return compiled
 
 
 def compile_group_expression(
     expression: Expression,
     relation: Relation,
     subqueries: SubqueryHandler | None = None,
+    counters: CompileCounters | None = None,
 ) -> GroupFn | None:
     """Compile an aggregation-mode expression, or ``None`` if unsupported."""
     try:
-        return _group(expression, relation, subqueries)
+        compiled = _group(expression, relation, subqueries)
     except CannotCompile:
+        if counters is not None:
+            counters.fallbacks += 1
         return None
+    if counters is not None:
+        counters.compiled += 1
+    return compiled
 
 
 # ---------------------------------------------------------------------------

@@ -21,9 +21,11 @@ Hot-path machinery (all transparent to callers):
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 
 from repro.errors import CatalogError, ExecutionError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.engine.executor import EXECUTOR_MODES, Executor, QueryResult
 from repro.engine.planner import DEFAULT_PLAN_STALENESS
 from repro.engine.runtime import is_true
@@ -46,6 +48,9 @@ from repro.sql.parser import parse, parse_many
 #: Default capacity of the SQL-text -> AST statement cache.
 DEFAULT_STATEMENT_CACHE_SIZE = 256
 
+#: Default ring capacity of the slow-query log.
+DEFAULT_SLOW_QUERY_CAPACITY = 128
+
 
 class Database:
     """An in-memory relational database with a SQL interface.
@@ -57,6 +62,10 @@ class Database:
         >>> db.execute("SELECT COUNT(*) FROM t").rows
         [(2,)]
     """
+
+    #: Observability sink for slow-query accounting (class-level no-op
+    #: default; assign per instance to enable).
+    telemetry: Telemetry = NULL_TELEMETRY
 
     def __init__(
         self,
@@ -80,6 +89,9 @@ class Database:
         #: Incrementally-maintained per-table statistics for the planner.
         self.stats = StatsCatalog(self)
         self._executor = Executor(self, mode=executor_mode)
+        #: Slow-query log; disabled (None threshold) keeps execute un-timed.
+        self._slow_query_threshold: float | None = None
+        self.slow_queries: deque[dict] = deque(maxlen=DEFAULT_SLOW_QUERY_CAPACITY)
 
     # ------------------------------------------------------------------
     # execution mode
@@ -194,8 +206,54 @@ class Database:
         return statement
 
     def execute(self, sql: str) -> QueryResult:
-        """Parse (through the statement cache) and execute one statement."""
-        return self.execute_statement(self.parse_cached(sql))
+        """Parse (through the statement cache) and execute one statement.
+
+        When a slow-query threshold is configured (:meth:`set_slow_query_log`)
+        the statement is timed and logged if it runs at/over the threshold;
+        with the log disabled — the default — no clock is read at all.
+        """
+        threshold = self._slow_query_threshold
+        if threshold is None:
+            return self.execute_statement(self.parse_cached(sql))
+        started = time.perf_counter()
+        result = self.execute_statement(self.parse_cached(sql))
+        elapsed = time.perf_counter() - started
+        if elapsed >= threshold:
+            self.slow_queries.append(
+                {"sql": sql, "seconds": round(elapsed, 9), "rows": len(result.rows)}
+            )
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("database_slow_queries_total", database=self.name)
+                tel.event(
+                    "slow_query",
+                    database=self.name,
+                    sql=sql,
+                    seconds=round(elapsed, 6),
+                )
+        return result
+
+    def set_slow_query_log(
+        self,
+        threshold_seconds: float | None,
+        capacity: int = DEFAULT_SLOW_QUERY_CAPACITY,
+    ) -> None:
+        """Configure the slow-query log.
+
+        Statements whose end-to-end ``execute`` takes at least
+        ``threshold_seconds`` are recorded in the bounded :attr:`slow_queries`
+        ring (newest last).  ``None`` disables logging and removes the timing
+        overhead entirely; already-recorded entries are kept (re-bounded to
+        ``capacity``).
+        """
+        if threshold_seconds is not None and threshold_seconds < 0:
+            raise ValueError("slow-query threshold cannot be negative")
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be at least 1")
+        self._slow_query_threshold = (
+            float(threshold_seconds) if threshold_seconds is not None else None
+        )
+        self.slow_queries = deque(self.slow_queries, maxlen=capacity)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a ``;``-separated script, returning one result per statement."""
@@ -219,13 +277,20 @@ class Database:
         """Execute a SELECT and return just the rows."""
         return self.execute(sql).rows
 
-    def explain(self, sql: str) -> dict:
+    def explain(self, sql: str, analyze: bool = False) -> dict:
         """Describe how the source planner would execute a statement.
 
         For a plannable SELECT the dict carries the chosen join order, the
         predicates pushed to each scan, and estimated cardinalities; for
         everything else it carries ``planned: False`` plus the reason.  Works
         in every executor mode — the plan is only *used* in ``"planned"``.
+
+        With ``analyze=True`` (EXPLAIN ANALYZE) the SELECT is additionally
+        *executed* under per-operator instrumentation, and the dict gains an
+        ``"analyze"`` key: executed operators with wall time and rows in/out,
+        total wall time, and the query's cache-counter deltas.  The analyzed
+        execution observes but never perturbs evaluation, so the rows it
+        produces are bit-identical to a plain ``execute`` in every mode.
         """
         statement = self.parse_cached(sql)
         if not isinstance(statement, Select):
@@ -234,7 +299,10 @@ class Database:
                 "planned": False,
                 "reason": "not a SELECT statement",
             }
-        return self._executor.explain_select(statement)
+        info = self._executor.explain_select(statement)
+        if analyze:
+            info["analyze"] = self._executor.analyze_select(statement)
+        return info
 
     # ------------------------------------------------------------------
     # cache invalidation

@@ -37,11 +37,13 @@ for that expression only, so compiled mode never changes semantics.
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import EngineError, ExecutionError
 from repro.engine.compiler import (
     AGGREGATE_NAMES as _AGGREGATE_NAMES,
+    CompileCounters,
     compile_group_expression,
     compile_row_expression,
     contains_aggregate as _contains_aggregate,
@@ -101,6 +103,51 @@ _PLAN_CACHE_LIMIT = 4096
 
 #: Cached-subquery-result bound.
 _SUBQUERY_CACHE_LIMIT = 1024
+
+#: Operator-entry bound for one EXPLAIN ANALYZE run (correlated subqueries
+#: re-execute per outer row and would otherwise grow the list without bound).
+_ANALYZE_OPERATOR_LIMIT = 256
+
+
+class _AnalyzeCollector:
+    """Accumulates per-operator timings during one EXPLAIN ANALYZE execution.
+
+    The executor holds at most one collector at a time (``Executor._analyze``);
+    when it is ``None`` — the normal case — the execution path pays only a
+    handful of ``is not None`` branch checks.  ``depth`` tracks SELECT-body
+    nesting (subqueries, CTE bodies, set-operation branches) so the operator
+    list can be rendered as a tree.
+    """
+
+    __slots__ = ("operators", "depth", "truncated")
+
+    def __init__(self) -> None:
+        self.operators: list[dict] = []
+        self.depth = 0
+        self.truncated = False
+
+    def enter(self) -> None:
+        self.depth += 1
+
+    def exit(self) -> None:
+        self.depth -= 1
+
+    def record(
+        self, op: str, seconds: float, rows_in: int, rows_out: int, **detail
+    ) -> None:
+        if len(self.operators) >= _ANALYZE_OPERATOR_LIMIT:
+            self.truncated = True
+            return
+        entry = {
+            "op": op,
+            "seconds": round(seconds, 9),
+            "rows_in": rows_in,
+            "rows_out": rows_out,
+            "depth": self.depth - 1,
+        }
+        if detail:
+            entry.update(detail)
+        self.operators.append(entry)
 
 
 @dataclass
@@ -170,6 +217,13 @@ class Executor:
         # catalog version: schema changes can move column indices.
         self._plan_cache: dict[tuple, tuple[object, object]] = {}
         self._plan_version: int = -1
+        #: Compiled-plan cache accounting (EXPLAIN ANALYZE reports deltas).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        #: Expression-compile outcome tallies (compiled vs interpreter fallback).
+        self.compile_counters = CompileCounters()
+        # Active EXPLAIN ANALYZE collector; None outside analyze_select.
+        self._analyze: _AnalyzeCollector | None = None
         # Source planner (join reordering + predicate pushdown); created
         # lazily so the import stays off the interpreted/compiled hot path.
         self._planner = None
@@ -246,7 +300,9 @@ class Executor:
         key = (id(anchor), kind, signature)
         entry = self._plan_cache.get(key)
         if entry is not None and entry[0] is anchor:
+            self.plan_cache_hits += 1
             return entry[1]
+        self.plan_cache_misses += 1
         value = build()
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
@@ -289,7 +345,10 @@ class Executor:
                     "row",
                     tuple(relation.labels),
                     lambda: compile_row_expression(
-                        expression, relation, self._subquery_handler(relation)
+                        expression,
+                        relation,
+                        self._subquery_handler(relation),
+                        self.compile_counters,
                     ),
                 )
             else:
@@ -297,7 +356,9 @@ class Executor:
                     expression,
                     "row-nested",
                     tuple(relation.labels),
-                    lambda: compile_row_expression(expression, relation),
+                    lambda: compile_row_expression(
+                        expression, relation, None, self.compile_counters
+                    ),
                 )
             if compiled is not None:
                 return compiled
@@ -316,7 +377,10 @@ class Executor:
                     "group",
                     tuple(source.labels),
                     lambda: compile_group_expression(
-                        expression, source, self._subquery_handler(source)
+                        expression,
+                        source,
+                        self._subquery_handler(source),
+                        self.compile_counters,
                     ),
                 )
             else:
@@ -324,7 +388,9 @@ class Executor:
                     expression,
                     "group-nested",
                     tuple(source.labels),
-                    lambda: compile_group_expression(expression, source),
+                    lambda: compile_group_expression(
+                        expression, source, None, self.compile_counters
+                    ),
                 )
             if compiled is not None:
                 return compiled
@@ -381,19 +447,115 @@ class Executor:
     # core execution
     # ------------------------------------------------------------------
 
+    def analyze_select(self, select: Select) -> dict:
+        """Execute a SELECT with per-operator instrumentation (EXPLAIN ANALYZE).
+
+        Returns the executed operator list (wall time, rows in/out, nesting
+        depth), total wall time, rows/columns returned, and the per-query
+        deltas of the compiled-plan, expression-compile and source-planner
+        counters.  The execution is observed, never perturbed: the collector
+        only reads stage boundaries, so the produced rows are bit-identical
+        to a plain ``execute_select`` in every executor mode.
+        """
+        if self._analyze is not None:
+            raise ExecutionError("EXPLAIN ANALYZE cannot be nested")
+        collector = _AnalyzeCollector()
+        plan_hits = self.plan_cache_hits
+        plan_misses = self.plan_cache_misses
+        compiled_before = self.compile_counters.compiled
+        fallbacks_before = self.compile_counters.fallbacks
+        planner = self._planner
+        plans_built_before = planner.plans_built if planner is not None else 0
+        planner_hits_before = planner.cache_hits if planner is not None else 0
+        self._analyze = collector
+        started = time.perf_counter()
+        try:
+            result = self.execute_select(select)
+        finally:
+            self._analyze = None
+        total = time.perf_counter() - started
+        planner = self._planner
+        plans_built = planner.plans_built if planner is not None else 0
+        planner_hits = planner.cache_hits if planner is not None else 0
+        return {
+            "executor_mode": self.mode,
+            "operators": collector.operators,
+            "truncated": collector.truncated,
+            "total_seconds": round(total, 9),
+            "rows_returned": len(result.rows),
+            "columns": list(result.columns),
+            "plan_cache": {
+                "hits": self.plan_cache_hits - plan_hits,
+                "misses": self.plan_cache_misses - plan_misses,
+            },
+            "expressions": {
+                "compiled": self.compile_counters.compiled - compiled_before,
+                "interpreter_fallbacks": self.compile_counters.fallbacks
+                - fallbacks_before,
+            },
+            "source_planner": {
+                "plans_built": plans_built - plans_built_before,
+                "cache_hits": planner_hits - planner_hits_before,
+            },
+        }
+
     def _execute_body(
         self, select: Select, cte_scope: dict[str, Relation], outer: RowContext | None
     ) -> QueryResult:
-        if select.set_operator is not None and select.set_right is not None:
-            return self._execute_set_operation(select, cte_scope, outer)
+        collector = self._analyze
+        if collector is None:
+            if select.set_operator is not None and select.set_right is not None:
+                return self._execute_set_operation(select, cte_scope, outer)
+            return self._execute_stages(select, cte_scope, outer, None)
+        # enter/exit must balance even when a context-free subquery attempt
+        # aborts with ExecutionError mid-body (see _execute_subquery_cached).
+        collector.enter()
+        try:
+            if select.set_operator is not None and select.set_right is not None:
+                return self._execute_set_operation(select, cte_scope, outer)
+            return self._execute_stages(select, cte_scope, outer, collector)
+        finally:
+            collector.exit()
 
+    def _execute_stages(
+        self,
+        select: Select,
+        cte_scope: dict[str, Relation],
+        outer: RowContext | None,
+        collector: _AnalyzeCollector | None,
+    ) -> QueryResult:
+        stage_start = time.perf_counter() if collector is not None else 0.0
         planned = (
             self._execute_planned(select, cte_scope, outer) if self.mode == "planned" else None
         )
         if planned is not None:
             source, filtered_rows = planned
+            if collector is not None:
+                collector.record(
+                    "planned_source",
+                    time.perf_counter() - stage_start,
+                    len(source.rows),
+                    len(filtered_rows),
+                )
         else:
+            if collector is not None:
+                if self.mode == "planned":
+                    collector.record(
+                        "plan_fallback", time.perf_counter() - stage_start, 0, 0
+                    )
+                stage_start = time.perf_counter()
             source = self._execute_relation(select.from_relation, cte_scope, outer)
+            if collector is not None:
+                collector.record(
+                    "scan",
+                    time.perf_counter() - stage_start,
+                    len(source.rows),
+                    len(source.rows),
+                    source=type(select.from_relation).__name__
+                    if select.from_relation is not None
+                    else "dual",
+                )
+                stage_start = time.perf_counter()
 
             # WHERE
             filtered_rows = []
@@ -406,26 +568,72 @@ class Executor:
                         context = RowContext(relation=source, row=row, parent=outer)
                         if _is_true(self._evaluate(select.where, context)):
                             filtered_rows.append(row)
+                if collector is not None:
+                    collector.record(
+                        "filter",
+                        time.perf_counter() - stage_start,
+                        len(source.rows),
+                        len(filtered_rows),
+                    )
             else:
                 filtered_rows = list(source.rows)
 
         needs_aggregation = bool(select.group_by) or self._has_aggregate_items(select)
 
+        if collector is not None:
+            stage_start = time.perf_counter()
         if needs_aggregation:
             result = self._execute_aggregation(select, source, filtered_rows, outer)
         else:
             result = self._execute_projection(select, source, filtered_rows, outer)
+        if collector is not None:
+            collector.record(
+                "aggregate" if needs_aggregation else "project",
+                time.perf_counter() - stage_start,
+                len(filtered_rows),
+                len(result.rows),
+            )
 
         if select.distinct:
+            if collector is not None:
+                stage_start = time.perf_counter()
+                rows_before = len(result.rows)
             result = QueryResult(columns=result.columns, rows=_distinct_rows(result.rows))
+            if collector is not None:
+                collector.record(
+                    "distinct",
+                    time.perf_counter() - stage_start,
+                    rows_before,
+                    len(result.rows),
+                )
 
         if select.order_by:
+            if collector is not None:
+                stage_start = time.perf_counter()
             result = self._apply_order_by(select, source, filtered_rows, result, outer, needs_aggregation)
+            if collector is not None:
+                collector.record(
+                    "sort",
+                    time.perf_counter() - stage_start,
+                    len(result.rows),
+                    len(result.rows),
+                    keys=len(select.order_by),
+                )
 
         if select.limit is not None or select.offset is not None:
+            if collector is not None:
+                stage_start = time.perf_counter()
+                rows_before = len(result.rows)
             offset = select.offset or 0
             end = offset + select.limit if select.limit is not None else None
             result = QueryResult(columns=result.columns, rows=result.rows[offset:end])
+            if collector is not None:
+                collector.record(
+                    "limit",
+                    time.perf_counter() - stage_start,
+                    rows_before,
+                    len(result.rows),
+                )
 
         return result
 
@@ -479,6 +687,8 @@ class Executor:
                 "set operation requires both sides to produce the same number of columns"
             )
 
+        collector = self._analyze
+        stage_start = time.perf_counter() if collector is not None else 0.0
         if select.set_operator is SetOperator.UNION_ALL:
             rows = left.rows + right.rows
         elif select.set_operator is SetOperator.UNION:
@@ -491,17 +701,45 @@ class Executor:
             rows = _distinct_rows([row for row in left.rows if _row_key(row) not in right_set])
 
         result = QueryResult(columns=left.columns, rows=rows)
+        if collector is not None:
+            collector.record(
+                "set_op",
+                time.perf_counter() - stage_start,
+                len(left.rows) + len(right.rows),
+                len(rows),
+                operator=select.set_operator.value,
+            )
 
         if select.order_by:
+            if collector is not None:
+                stage_start = time.perf_counter()
             relation = result.as_relation()
             result = QueryResult(
                 columns=result.columns,
                 rows=self._sort_output_rows(select.order_by, relation, result.rows, outer),
             )
+            if collector is not None:
+                collector.record(
+                    "sort",
+                    time.perf_counter() - stage_start,
+                    len(result.rows),
+                    len(result.rows),
+                    keys=len(select.order_by),
+                )
         if select.limit is not None or select.offset is not None:
+            if collector is not None:
+                stage_start = time.perf_counter()
+                rows_before = len(result.rows)
             offset = select.offset or 0
             end = offset + select.limit if select.limit is not None else None
             result = QueryResult(columns=result.columns, rows=result.rows[offset:end])
+            if collector is not None:
+                collector.record(
+                    "limit",
+                    time.perf_counter() - stage_start,
+                    rows_before,
+                    len(result.rows),
+                )
         return result
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from typing import Callable, TypeVar
 
 from repro.errors import LLMTimeoutError, TransientLLMError
 from repro.llm.prompts import Prompt
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 _T = TypeVar("_T")
 
@@ -188,6 +189,12 @@ class LLMClient(abc.ABC):
 
     name: str = "llm"
 
+    #: Observability sink for the retry/timeout/token accounting on the
+    #: ``*_with_retry`` entry points.  A class-level no-op default means
+    #: existing subclasses need no ``__init__`` changes; services overwrite
+    #: it per instance when telemetry is enabled.
+    telemetry: Telemetry = NULL_TELEMETRY
+
     #: Whether :meth:`generate` output depends on the *content* of the few-shot
     #: examples in the prompt (and not just on how many there are).  Batch
     #: schedulers use this to decide how strictly a speculatively-generated
@@ -254,9 +261,16 @@ class LLMClient(abc.ABC):
         salts spread their retries apart instead of letting the whole fleet
         hammer the backend again in lockstep.
         """
-        return self._resilient_call(
+        result = self._resilient_call(
             lambda: self.generate(prompt), policy, salt=_join_salt(salt, prompt.sql)
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("llm_requests_total", model=self.name)
+            tel.count(
+                "llm_prompt_tokens_total", result.prompt_tokens, model=self.name
+            )
+        return result
 
     def generate_batch_with_retry(
         self, prompts: list[Prompt], policy: RetryPolicy | None = None, salt: str = ""
@@ -267,26 +281,63 @@ class LLMClient(abc.ABC):
         :meth:`generate_with_retry`.
         """
         base = prompts[0].sql if prompts else ""
-        return self._resilient_call(
+        results = self._resilient_call(
             lambda: self.generate_batch(prompts),
             policy,
             salt=_join_salt(salt, f"batch:{len(prompts)}:{base}"),
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("llm_requests_total", model=self.name)
+            tel.count(
+                "llm_prompt_tokens_total",
+                sum(result.prompt_tokens for result in results),
+                model=self.name,
+            )
+        return results
 
     def _resilient_call(
         self, call: Callable[[], _T], policy: RetryPolicy | None, salt: str
     ) -> _T:
+        tel = self.telemetry
         if policy is None:
-            return call()
+            if not tel.enabled:
+                return call()
+            started = time.perf_counter()
+            result = call()
+            tel.observe(
+                "llm_call_seconds", time.perf_counter() - started, model=self.name
+            )
+            return result
+        started = time.perf_counter() if tel.enabled else 0.0
         for attempt in range(policy.max_attempts):
             try:
-                return self._call_with_timeout(call, policy.call_timeout)
+                result = self._call_with_timeout(call, policy.call_timeout)
             except Exception as exc:
+                if tel.enabled and isinstance(exc, LLMTimeoutError):
+                    tel.count("llm_timeouts_total", model=self.name)
                 if not is_transient_error(exc) or attempt + 1 >= policy.max_attempts:
+                    if tel.enabled:
+                        tel.count(
+                            "llm_errors_total",
+                            model=self.name,
+                            error_type=type(exc).__name__,
+                        )
                     raise
                 delay = policy.delay(attempt, salt)
+                if tel.enabled:
+                    tel.count("llm_retries_total", model=self.name)
+                    tel.observe("llm_backoff_seconds", delay, model=self.name)
                 if delay > 0:
                     time.sleep(delay)
+            else:
+                if tel.enabled:
+                    tel.observe(
+                        "llm_call_seconds",
+                        time.perf_counter() - started,
+                        model=self.name,
+                    )
+                return result
         raise AssertionError("unreachable: retry loop returns or raises")
 
     def _call_with_timeout(self, call: Callable[[], _T], timeout: float | None) -> _T:

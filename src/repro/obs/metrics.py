@@ -1,0 +1,304 @@
+"""Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the process-wide aggregation point for the service's runtime
+counters (jobs submitted/quarantined, LLM retries, journal fsyncs, ...) keyed
+by a metric *family* name plus a small set of labels (tenant/project, model,
+event type).  It is deliberately tiny and dependency-free:
+
+* every mutation goes through a per-metric lock, so worker threads draining
+  concurrent waves can hammer the same counter without losing increments;
+* histograms use **fixed** bucket boundaries chosen at creation time, so
+  merging/rendering never has to re-bucket and exposition output is stable;
+* two export formats — :meth:`MetricsRegistry.as_dict` (JSON-safe snapshot)
+  and :meth:`MetricsRegistry.render_prometheus` (Prometheus text exposition
+  format) — share one deterministic ordering (families by name, series by
+  sorted label items), so both are byte-stable for a given set of recordings.
+
+Metric and label names follow Prometheus conventions (``snake_case``,
+counters end in ``_total``); values are floats throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Default histogram boundaries for durations in seconds (sub-millisecond
+#: journal fsyncs up to multi-second drains).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram boundaries for counts (wave sizes, batch sizes).
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        """Add ``value`` (must be non-negative) to the counter."""
+        if value < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A sample that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, value: float = 1.0) -> None:
+        with self._lock:
+            self._value += value
+
+    def dec(self, value: float = 1.0) -> None:
+        with self._lock:
+            self._value -= value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-bucket exposition.
+
+    ``buckets`` are the *upper* bounds of each bucket in strictly increasing
+    order; an implicit ``+Inf`` bucket catches everything above the last
+    boundary (so ``observe`` never drops a sample).
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        running = 0
+        out: list[tuple[float, int]] = []
+        for bound, count in zip(self.buckets + (float("inf"),), counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+
+class _Family:
+    """All series of one metric name (same type, help text and buckets)."""
+
+    __slots__ = ("name", "type", "help", "buckets", "series")
+
+    def __init__(self, name: str, type_: str, help_: str, buckets) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.buckets = buckets
+        self.series: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of labelled metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # metric accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created on demand)."""
+        return self._series(name, "counter", help, None, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """The gauge series for ``name`` + ``labels`` (created on demand)."""
+        return self._series(name, "gauge", help, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram series for ``name`` + ``labels`` (created on demand).
+
+        ``buckets`` fixes the family's boundaries on first use; later calls
+        may omit it (or must agree with it).
+        """
+        return self._series(name, "histogram", help, buckets, labels)
+
+    def _series(self, name, type_, help_, buckets, labels):
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                if type_ == "histogram":
+                    buckets = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+                family = _Family(name, type_, help_, buckets)
+                self._families[name] = family
+            elif family.type != type_:
+                raise ValueError(
+                    f"metric {name!r} is a {family.type}, not a {type_}"
+                )
+            elif (
+                type_ == "histogram"
+                and buckets is not None
+                and tuple(buckets) != family.buckets
+            ):
+                raise ValueError(
+                    f"metric {name!r} already has buckets {family.buckets}"
+                )
+            metric = family.series.get(key)
+            if metric is None:
+                if type_ == "counter":
+                    metric = Counter()
+                elif type_ == "gauge":
+                    metric = Gauge()
+                else:
+                    metric = Histogram(family.buckets)
+                family.series[key] = metric
+            return metric
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON-safe snapshot of every family and series."""
+        snapshot: dict = {}
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            series_out = []
+            for key in sorted(family.series):
+                metric = family.series[key]
+                entry: dict = {"labels": dict(key)}
+                if family.type == "histogram":
+                    entry["count"] = metric.count
+                    entry["sum"] = round(metric.sum, 9)
+                    entry["buckets"] = {
+                        _format_number(bound): count
+                        for bound, count in metric.cumulative()
+                    }
+                else:
+                    entry["value"] = metric.value
+                series_out.append(entry)
+            snapshot[family.name] = {
+                "type": family.type,
+                "help": family.help,
+                "series": series_out,
+            }
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            for key in sorted(family.series):
+                metric = family.series[key]
+                if family.type == "histogram":
+                    for bound, cumulative_count in metric.cumulative():
+                        bucket_key = key + (("le", _format_number(bound)),)
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_key)} "
+                            f"{cumulative_count}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(key)} "
+                        f"{_format_number(metric.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(key)} {metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(key)} "
+                        f"{_format_number(metric.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+    return "{" + inner + "}"

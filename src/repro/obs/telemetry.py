@@ -1,0 +1,144 @@
+"""The injectable telemetry facade the instrumented layers hang off.
+
+Every instrumented component (service, scheduler, pipeline, LLM client,
+journal, snapshot store, vector stores, database) holds a ``telemetry``
+reference that defaults to :data:`NULL_TELEMETRY` — a no-op whose methods do
+nothing and whose ``enabled`` flag is ``False``.  Hot paths gate their
+bookkeeping on that flag::
+
+    tel = self.telemetry
+    if tel.enabled:
+        tel.count("journal_appends_total", type=event_type)
+
+so with the default no-op the instrumented code performs one attribute read
+and one branch — the drained results stay bit-identical and the overhead is
+unmeasurable (asserted by ``benchmarks/bench_observability.py``).
+
+A real :class:`Telemetry` bundles the three observability primitives:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters/gauges/histograms,
+* :class:`~repro.obs.trace.Tracer` — spans with a bounded ring buffer,
+* :class:`~repro.obs.logging.StructuredLogger` — span-stamped log events.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Live telemetry: a metrics registry + tracer + structured logger."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        logger: StructuredLogger | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.logger = logger if logger is not None else StructuredLogger()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Increment the counter series ``name`` + ``labels``."""
+        self.metrics.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge series ``name`` + ``labels``."""
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into the (latency-bucketed) histogram series."""
+        self.metrics.histogram(name, **labels).observe(value)
+
+    def observe_size(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into a count-bucketed histogram series."""
+        self.metrics.histogram(name, buckets=DEFAULT_SIZE_BUCKETS, **labels).observe(
+            value
+        )
+
+    def span(self, name: str, **attributes: object):
+        """Open a (context-managed, nestable) span."""
+        return self.tracer.span(name, **attributes)
+
+    def event(self, event: str, level: int = logging.INFO, **fields: object) -> None:
+        """Emit one structured log event."""
+        self.logger.event(event, level=level, **fields)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+
+    def metrics_dict(self) -> dict:
+        return self.metrics.as_dict()
+
+    def render_prometheus(self) -> str:
+        return self.metrics.render_prometheus()
+
+
+class _NullSpanScope:
+    """Shared, stateless, re-entrant stand-in for a span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanScope":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN_SCOPE = _NullSpanScope()
+
+
+class NullTelemetry(Telemetry):
+    """Do-nothing telemetry; the default for every instrumented component."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # No registry/tracer/logger: nothing may be allocated or recorded.
+        pass
+
+    def count(self, name: str, value: float = 1.0, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe_size(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def span(self, name: str, **attributes: object) -> _NullSpanScope:
+        return _NULL_SPAN_SCOPE
+
+    def event(self, event: str, level: int = logging.INFO, **fields: object) -> None:
+        pass
+
+    def metrics_dict(self) -> dict:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+#: Process-wide no-op instance shared by every un-instrumented component.
+NULL_TELEMETRY = NullTelemetry()

@@ -53,6 +53,13 @@ class ExampleStore:
     def __len__(self) -> int:
         return len(self._examples)
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Point the underlying vector store's search accounting at a sink.
+
+        Call again after :meth:`load_state`, which replaces the store.
+        """
+        self._store.telemetry = telemetry
+
     @property
     def is_empty(self) -> bool:
         """True while in the cold-start condition (no prior annotations)."""

@@ -23,11 +23,13 @@ differently-partitioned matrices may differ in the last ULP).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import RetrievalError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.retrieval.embedding import EmbeddingModel
 
 #: Initial number of matrix rows; doubled whenever the store outgrows it.
@@ -58,6 +60,13 @@ class SearchHit:
 
 class VectorStore:
     """Embeds and indexes documents, supports filtered top-k cosine search."""
+
+    #: Observability sink for search accounting.  Class-level no-op default;
+    #: owners (e.g. :class:`~repro.retrieval.example_store.ExampleStore`)
+    #: overwrite it per instance.  Shards inside a
+    #: :class:`ShardedVectorStore` keep the no-op so routed searches are
+    #: counted once, at the routing layer.
+    telemetry: Telemetry = NULL_TELEMETRY
 
     def __init__(self, model: EmbeddingModel | None = None) -> None:
         self._model = model or EmbeddingModel()
@@ -152,11 +161,19 @@ class VectorStore:
         """
         if top_k <= 0 or not self._entries:
             return []
+        tel = self.telemetry
+        started = time.perf_counter() if tel.enabled else 0.0
         query_vector = self._model.embed(query)
         scores = self._matrix[: len(self._row_ids)] @ query_vector
-        return self._rows_to_hits(
+        hits = self._rows_to_hits(
             self._select_rows(scores, top_k, metadata_filter, exclude_ids, min_score), scores
         )
+        if tel.enabled:
+            tel.count("retrieval_searches_total", store="flat")
+            tel.observe(
+                "retrieval_search_seconds", time.perf_counter() - started, store="flat"
+            )
+        return hits
 
     def search_ids(
         self,
@@ -198,6 +215,8 @@ class VectorStore:
             return []
         if top_k <= 0 or not self._entries:
             return [[] for _ in queries]
+        tel = self.telemetry
+        started = time.perf_counter() if tel.enabled else 0.0
         documents = self._matrix[: len(self._row_ids)]
         results: list[list[SearchHit]] = []
         for query in queries:
@@ -207,6 +226,11 @@ class VectorStore:
                     self._select_rows(scores, top_k, metadata_filter, exclude_ids, min_score),
                     scores,
                 )
+            )
+        if tel.enabled:
+            tel.count("retrieval_searches_total", len(queries), store="flat")
+            tel.observe(
+                "retrieval_search_seconds", time.perf_counter() - started, store="flat"
             )
         return results
 
@@ -413,6 +437,10 @@ class ShardedVectorStore:
     snapshots by routing each serialised entry through its metadata.
     """
 
+    #: Observability sink; searches are counted here (per routed call), never
+    #: inside the per-shard stores, so a fan-out still counts as one search.
+    telemetry: Telemetry = NULL_TELEMETRY
+
     def __init__(self, model: EmbeddingModel | None = None, shard_key: str = "dataset") -> None:
         self._model = model or EmbeddingModel()
         self.shard_key = shard_key
@@ -497,13 +525,28 @@ class ShardedVectorStore:
         shards = self._route(metadata_filter)
         if top_k <= 0 or not shards:
             return []
+        tel = self.telemetry
+        started = time.perf_counter() if tel.enabled else 0.0
         if len(shards) == 1:
-            return shards[0].search(query, top_k, metadata_filter, exclude_ids, min_score)
-        merged: list[SearchHit] = []
-        for shard in shards:
-            merged.extend(shard.search(query, top_k, metadata_filter, exclude_ids, min_score))
-        merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
-        return merged[:top_k]
+            hits = shards[0].search(query, top_k, metadata_filter, exclude_ids, min_score)
+        else:
+            merged: list[SearchHit] = []
+            for shard in shards:
+                merged.extend(
+                    shard.search(query, top_k, metadata_filter, exclude_ids, min_score)
+                )
+            merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+            hits = merged[:top_k]
+        if tel.enabled:
+            tel.count(
+                "retrieval_searches_total", store="sharded", shards=len(shards)
+            )
+            tel.observe(
+                "retrieval_search_seconds",
+                time.perf_counter() - started,
+                store="sharded",
+            )
+        return hits
 
     def search_ids(
         self,
@@ -538,21 +581,36 @@ class ShardedVectorStore:
         shards = self._route(metadata_filter)
         if top_k <= 0 or not shards:
             return [[] for _ in queries]
+        tel = self.telemetry
+        started = time.perf_counter() if tel.enabled else 0.0
         if len(shards) == 1:
-            return shards[0].search_batch(
+            results = shards[0].search_batch(
                 queries, top_k, metadata_filter, exclude_ids, min_score
             )
-        per_shard = [
-            shard.search_batch(queries, top_k, metadata_filter, exclude_ids, min_score)
-            for shard in shards
-        ]
-        results: list[list[SearchHit]] = []
-        for index in range(len(queries)):
-            merged: list[SearchHit] = []
-            for shard_hits in per_shard:
-                merged.extend(shard_hits[index])
-            merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
-            results.append(merged[:top_k])
+        else:
+            per_shard = [
+                shard.search_batch(queries, top_k, metadata_filter, exclude_ids, min_score)
+                for shard in shards
+            ]
+            results = []
+            for index in range(len(queries)):
+                merged: list[SearchHit] = []
+                for shard_hits in per_shard:
+                    merged.extend(shard_hits[index])
+                merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+                results.append(merged[:top_k])
+        if tel.enabled:
+            tel.count(
+                "retrieval_searches_total",
+                len(queries),
+                store="sharded",
+                shards=len(shards),
+            )
+            tel.observe(
+                "retrieval_search_seconds",
+                time.perf_counter() - started,
+                store="sharded",
+            )
         return results
 
     def all_ids(self) -> list[str]:
