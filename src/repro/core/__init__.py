@@ -20,7 +20,12 @@ from repro.core.ingestion import (
     load_benchmark_json,
     split_sql_log,
 )
-from repro.core.journal import EventJournal, JournalEvent, JournalRecovery
+from repro.core.journal import (
+    EventJournal,
+    JournalEvent,
+    JournalRecovery,
+    JournalSalvageReport,
+)
 from repro.core.pipeline import (
     AnnotationPipeline,
     AnnotationRecord,
@@ -34,6 +39,7 @@ from repro.core.service import (
     AnnotationJob,
     AnnotationService,
     CompletedJob,
+    DrainReport,
     ProjectStats,
     ServiceStats,
 )
@@ -47,6 +53,7 @@ __all__ = [
     "AnnotationTask",
     "CandidateSet",
     "CompletedJob",
+    "DrainReport",
     "EventJournal",
     "Feedback",
     "FeedbackAction",
@@ -55,6 +62,7 @@ __all__ = [
     "IngestedDataset",
     "JournalEvent",
     "JournalRecovery",
+    "JournalSalvageReport",
     "LogEntry",
     "Project",
     "ProjectStats",

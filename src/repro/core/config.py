@@ -15,7 +15,10 @@ from typing import TYPE_CHECKING
 from repro.errors import PipelineError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (llm.base ← config)
+    from typing import Callable
+
     from repro.llm.base import RetryPolicy
+    from repro.llm.resilience import CircuitBreaker, HedgePolicy
 
 
 class AnnotationTask(Enum):
@@ -59,6 +62,28 @@ class TaskConfig:
         llm_call_timeout: Per-call wall-clock budget in seconds; ``None``
             disables timeout enforcement.  A timed-out call counts as a
             transient error and is retried.
+        llm_retry_budget_s: Total elapsed-time cap (attempts + backoff
+            sleeps) on one logical LLM call; ``None`` disables the cap.
+            Bounds the worst-case sleep when ``llm_max_attempts`` is high.
+        breaker_enabled: Guard this project's LLM calls with a per-pipeline
+            circuit breaker.  While open, the service *defers* the project's
+            waves (jobs are re-queued, not quarantined).
+        breaker_window: Rolling outcome window the failure rate is computed
+            over.
+        breaker_failure_rate: Failure fraction within the window that trips
+            the breaker open.
+        breaker_min_calls: Outcomes required in the window before the rate
+            is trusted (prevents one early failure from tripping).
+        breaker_recovery_s: Seconds the breaker stays open before admitting
+            half-open probe calls.
+        breaker_probes: Consecutive probe successes required to close again.
+        llm_hedge_enabled: Fire a backup LLM call behind a slow primary and
+            take the first answer (tail-latency for duplicate-work trade).
+        llm_hedge_delay_s: Fixed hedge delay; ``None`` derives it from the
+            client's observed latency distribution.
+        llm_hedge_percentile: Latency percentile used for the derived delay.
+        llm_hedge_min_samples: Latency samples required before a derived
+            delay is trusted (until then calls are not hedged).
     """
 
     task: AnnotationTask = AnnotationTask.SQL_TO_NL
@@ -76,6 +101,17 @@ class TaskConfig:
     llm_retry_max_delay: float = 2.0
     llm_retry_jitter: float = 0.5
     llm_call_timeout: float | None = None
+    llm_retry_budget_s: float | None = None
+    breaker_enabled: bool = False
+    breaker_window: int = 16
+    breaker_failure_rate: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_recovery_s: float = 1.0
+    breaker_probes: int = 1
+    llm_hedge_enabled: bool = False
+    llm_hedge_delay_s: float | None = None
+    llm_hedge_percentile: float = 0.95
+    llm_hedge_min_samples: int = 8
 
     def validate(self) -> None:
         """Raise :class:`PipelineError` on inconsistent settings."""
@@ -95,6 +131,24 @@ class TaskConfig:
             raise PipelineError("llm_retry_jitter must be within [0, 1]")
         if self.llm_call_timeout is not None and self.llm_call_timeout <= 0:
             raise PipelineError("llm_call_timeout must be positive when set")
+        if self.llm_retry_budget_s is not None and self.llm_retry_budget_s <= 0:
+            raise PipelineError("llm_retry_budget_s must be positive when set")
+        if self.breaker_window < 1:
+            raise PipelineError("breaker_window must be at least 1")
+        if not 0.0 < self.breaker_failure_rate <= 1.0:
+            raise PipelineError("breaker_failure_rate must be within (0, 1]")
+        if self.breaker_min_calls < 1:
+            raise PipelineError("breaker_min_calls must be at least 1")
+        if self.breaker_recovery_s < 0:
+            raise PipelineError("breaker_recovery_s cannot be negative")
+        if self.breaker_probes < 1:
+            raise PipelineError("breaker_probes must be at least 1")
+        if self.llm_hedge_delay_s is not None and self.llm_hedge_delay_s < 0:
+            raise PipelineError("llm_hedge_delay_s cannot be negative")
+        if not 0.0 < self.llm_hedge_percentile < 1.0:
+            raise PipelineError("llm_hedge_percentile must be within (0, 1)")
+        if self.llm_hedge_min_samples < 1:
+            raise PipelineError("llm_hedge_min_samples must be at least 1")
         if self.task is AnnotationTask.NL_TO_SQL:
             raise PipelineError(
                 "NL_TO_SQL annotation is future work in the paper and not supported yet"
@@ -110,6 +164,38 @@ class TaskConfig:
             max_delay=self.llm_retry_max_delay,
             jitter=self.llm_retry_jitter,
             call_timeout=self.llm_call_timeout,
+            retry_budget_s=self.llm_retry_budget_s,
+        )
+
+    def circuit_breaker(
+        self, on_transition: "Callable[[str, str], None] | None" = None
+    ) -> "CircuitBreaker | None":
+        """A :class:`~repro.llm.resilience.CircuitBreaker` per these knobs,
+        or ``None`` when breaking is disabled."""
+        if not self.breaker_enabled:
+            return None
+        from repro.llm.resilience import CircuitBreaker
+
+        return CircuitBreaker(
+            window=self.breaker_window,
+            failure_rate=self.breaker_failure_rate,
+            min_calls=self.breaker_min_calls,
+            recovery_timeout=self.breaker_recovery_s,
+            probe_budget=self.breaker_probes,
+            on_transition=on_transition,
+        )
+
+    def hedge_policy(self) -> "HedgePolicy | None":
+        """A :class:`~repro.llm.resilience.HedgePolicy` per these knobs, or
+        ``None`` when hedging is disabled."""
+        if not self.llm_hedge_enabled:
+            return None
+        from repro.llm.resilience import HedgePolicy
+
+        return HedgePolicy(
+            delay_s=self.llm_hedge_delay_s,
+            percentile=self.llm_hedge_percentile,
+            min_samples=self.llm_hedge_min_samples,
         )
 
     def to_dict(self) -> dict:

@@ -45,13 +45,16 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import JournalError
+from repro.errors import DiskFaultError, JournalError
 from repro.obs import NULL_TELEMETRY, Telemetry
 
 #: Header layout: payload length then CRC32 of the payload, both uint32 LE.
 _HEADER = struct.Struct("<II")
 #: Records larger than this are treated as corruption, not data.
 _MAX_RECORD_BYTES = 64 * 1024 * 1024
+#: How far past a corruption point the salvage scan probes for a plausible
+#: next record before giving up (diagnostics only — see scan()).
+_RESYNC_WINDOW_BYTES = 16 * 1024 * 1024
 
 FSYNC_POLICIES = ("always", "batch", "never")
 
@@ -75,6 +78,37 @@ class JournalEvent:
 
 
 @dataclass
+class JournalSalvageReport:
+    """Forensics for a journal whose byte stream broke mid-scan.
+
+    ``reason`` says *why* decoding stopped (``"torn_header"``,
+    ``"torn_record"``, ``"implausible_length"``, ``"crc_mismatch"``,
+    ``"undecodable_payload"``); ``resync_offset``/``resynced_records``
+    report whether a scan-forward probe found plausible records *after* the
+    corruption.  Those trailing records are diagnostics, not data: replay
+    requires an unbroken prefix (later events reference earlier ones), so
+    salvage always keeps the longest valid committed prefix and drops the
+    rest — but the report distinguishes a benign torn tail (crash mid-append,
+    nothing after the break) from mid-stream bit rot that destroyed records
+    an operator may want to investigate.
+    """
+
+    reason: str
+    corrupt_at_byte: int
+    valid_records: int
+    valid_bytes: int
+    dropped_bytes: int
+    resync_offset: int | None = None
+    resynced_records: int = 0
+
+    @property
+    def kind(self) -> str:
+        """``"mid_stream_corruption"`` when intact records exist past the
+        break, else ``"torn_tail"``."""
+        return "mid_stream_corruption" if self.resynced_records else "torn_tail"
+
+
+@dataclass
 class JournalRecovery:
     """What :meth:`EventJournal.scan` found on disk."""
 
@@ -82,6 +116,9 @@ class JournalRecovery:
     valid_bytes: int = 0
     dropped_bytes: int = 0
     events: list[JournalEvent] = field(default_factory=list)
+    #: Populated when the scan stopped before end-of-file (torn tail or
+    #: mid-stream corruption); ``None`` for a clean journal.
+    salvage: JournalSalvageReport | None = None
 
     @property
     def torn(self) -> bool:
@@ -170,8 +207,9 @@ class EventJournal:
                 else:
                     self._dirty = True
             except OSError as exc:
-                raise JournalError(
-                    f"failed to append to journal {self.path}: {exc}"
+                raise DiskFaultError(
+                    f"failed to append to journal {self.path}: {exc}",
+                    errno_value=exc.errno,
                 ) from exc
             offset = self._record_count
             self._record_count += 1
@@ -199,7 +237,10 @@ class EventJournal:
                         policy=self.fsync_policy,
                     )
             except OSError as exc:
-                raise JournalError(f"failed to sync journal {self.path}: {exc}") from exc
+                raise DiskFaultError(
+                    f"failed to sync journal {self.path}: {exc}",
+                    errno_value=exc.errno,
+                ) from exc
             self._dirty = False
 
     def close(self) -> None:
@@ -261,19 +302,26 @@ class EventJournal:
         recovery = JournalRecovery()
         position = 0
         total = len(buffer)
+        break_reason: str | None = None
         while position + _HEADER.size <= total:
             length, checksum = _HEADER.unpack_from(buffer, position)
             end = position + _HEADER.size + length
-            if length > _MAX_RECORD_BYTES or end > total:
-                break  # torn or garbage length: the tail starts here
+            if length > _MAX_RECORD_BYTES:
+                break_reason = "implausible_length"
+                break  # garbage length: the tail starts here
+            if end > total:
+                break_reason = "torn_record"
+                break  # header fine but the payload never finished writing
             payload = buffer[position + _HEADER.size : end]
             if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+                break_reason = "crc_mismatch"
                 break  # bit rot or torn payload
             try:
                 decoded = json.loads(payload.decode("utf-8"))
                 event_type = decoded["type"]
                 event_payload = decoded["payload"]
             except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                break_reason = "undecodable_payload"
                 break  # checksum collided with garbage; treat as torn
             if with_events:
                 recovery.events.append(
@@ -287,7 +335,64 @@ class EventJournal:
             position = end
         recovery.valid_bytes = position
         recovery.dropped_bytes = total - position
+        if recovery.dropped_bytes > 0:
+            if break_reason is None:
+                break_reason = "torn_header"  # fewer trailing bytes than a header
+            resync_offset, resynced = EventJournal._resync_probe(buffer, position)
+            recovery.salvage = JournalSalvageReport(
+                reason=break_reason,
+                corrupt_at_byte=position,
+                valid_records=recovery.record_count,
+                valid_bytes=recovery.valid_bytes,
+                dropped_bytes=recovery.dropped_bytes,
+                resync_offset=resync_offset,
+                resynced_records=resynced,
+            )
         return recovery
+
+    @staticmethod
+    def _resync_probe(buffer: bytes, corrupt_at: int) -> tuple[int | None, int]:
+        """Look past a corruption point for intact records (diagnostics only).
+
+        Slides byte-by-byte from the break, within ``_RESYNC_WINDOW_BYTES``,
+        until an offset parses as a full record — plausible header, CRC match,
+        decodable ``{"type", "payload"}`` JSON — then counts how many
+        consecutive records follow from there.  Returns ``(resync_offset,
+        record_count)``, or ``(None, 0)`` when nothing past the break parses.
+        The salvaged records are never replayed (replay needs an unbroken
+        prefix); they exist so the recovery report can distinguish a torn
+        tail from mid-stream corruption that destroyed committed data.
+        """
+        total = len(buffer)
+        limit = min(total, corrupt_at + _RESYNC_WINDOW_BYTES)
+        # Start one byte past the break: the break offset itself already
+        # failed to parse.
+        for candidate in range(corrupt_at + 1, limit):
+            if candidate + _HEADER.size > total:
+                break
+            position = candidate
+            resynced = 0
+            while position + _HEADER.size <= total:
+                length, checksum = _HEADER.unpack_from(buffer, position)
+                end = position + _HEADER.size + length
+                if length > _MAX_RECORD_BYTES or end > total:
+                    break
+                payload = buffer[position + _HEADER.size : end]
+                if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+                    break
+                try:
+                    decoded = json.loads(payload.decode("utf-8"))
+                    if not isinstance(decoded, dict):
+                        break
+                    decoded["type"]
+                    decoded["payload"]
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    break
+                resynced += 1
+                position = end
+            if resynced:
+                return candidate, resynced
+        return None, 0
 
     # ------------------------------------------------------------------
     # internals

@@ -36,6 +36,7 @@ from repro.core.journal import ANNOTATION_COMMITTED, FEEDBACK_APPLIED, EventJour
 from repro.errors import PipelineError
 from repro.llm.base import LLMClient
 from repro.llm.prompts import Prompt, PromptBuilder
+from repro.llm.resilience import Deadline
 from repro.llm.simulated import SimulatedLLM
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.retrieval.retriever import ContextRetriever, RetrievedContext
@@ -146,6 +147,13 @@ class AnnotationPipeline:
         # Jitter salt for LLM retry backoff: keyed by project so concurrent
         # tenants hitting the same transient error don't retry in lockstep.
         self._retry_salt = dataset_name
+        #: Per-pipeline circuit breaker guarding this project's LLM calls
+        #: (``None`` unless ``TaskConfig.breaker_enabled``).  Breaker state is
+        #: process-local: a recovered service starts with a closed breaker.
+        self.breaker = self.config.circuit_breaker(
+            on_transition=self._note_breaker_transition
+        )
+        self._hedge = self.config.hedge_policy()
         self._journal: EventJournal | None = None
         self._journal_project = dataset_name
         #: Observability sink; no-op unless a service injects a live one.
@@ -183,6 +191,23 @@ class AnnotationPipeline:
         self.telemetry = telemetry
         self.llm.telemetry = telemetry
         self.retriever.example_store.attach_telemetry(telemetry)
+
+    def _note_breaker_transition(self, old_state: str, new_state: str) -> None:
+        """Telemetry callback for circuit-breaker state changes."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count(
+                "llm_breaker_transitions_total",
+                model=self.llm.name,
+                project=self.dataset_name,
+                **{"from": old_state, "to": new_state},
+            )
+            tel.event(
+                "breaker_transition",
+                project=self.dataset_name,
+                model=self.llm.name,
+                **{"from": old_state, "to": new_state},
+            )
 
     # ------------------------------------------------------------------
     # candidate generation (steps 3.5 - 5.5)
@@ -236,22 +261,32 @@ class AnnotationPipeline:
             ast=ast,
         )
 
-    def _generate_flat(self, sql: str) -> list[str]:
+    def _generate_flat(self, sql: str, deadline: Deadline | None = None) -> list[str]:
         context = self._retrieve(sql)
         prompt = self._build_prompt(sql, context)
         return self.llm.generate_with_retry(
-            prompt, self._retry_policy, salt=self._retry_salt
+            prompt,
+            self._retry_policy,
+            salt=self._retry_salt,
+            deadline=deadline,
+            breaker=self.breaker,
+            hedge=self._hedge,
         ).candidates
 
     def _generate_decomposed(
-        self, decomposition: DecompositionResult
+        self, decomposition: DecompositionResult, deadline: Deadline | None = None
     ) -> tuple[list[str], dict[str, list[str]]]:
         unit_candidates: dict[str, list[str]] = {}
         for unit in decomposition.units:
             context = self._retrieve(unit.sql)
             prompt = self._build_prompt(unit.sql, context)
             unit_candidates[unit.name] = self.llm.generate_with_retry(
-                prompt, self._retry_policy, salt=self._retry_salt
+                prompt,
+                self._retry_policy,
+                salt=self._retry_salt,
+                deadline=deadline,
+                breaker=self.breaker,
+                hedge=self._hedge,
             ).candidates
         return self._merge_unit_candidates(decomposition, unit_candidates), unit_candidates
 
@@ -407,6 +442,7 @@ class AnnotationPipeline:
         query_ids: list[str | None] | None = None,
         batch_size: int | None = None,
         commit_tags: list | None = None,
+        deadline: Deadline | None = None,
     ) -> "WaveRun":
         """An incremental :class:`WaveRun` over these statements.
 
@@ -414,7 +450,8 @@ class AnnotationPipeline:
         completion in a loop; the concurrent multi-project scheduler instead
         interleaves ``run_next_wave`` calls from several projects' runs, one
         wave per project per round, which is what makes drains fair *and*
-        bit-identical per project.
+        bit-identical per project.  A ``deadline`` is carried into every
+        wave's LLM calls, shrinking their timeouts as the budget runs down.
         """
         return WaveRun(
             self,
@@ -422,6 +459,7 @@ class AnnotationPipeline:
             query_ids=query_ids,
             batch_size=batch_size,
             commit_tags=commit_tags,
+            deadline=deadline,
         )
 
     def _run_wave(
@@ -430,6 +468,7 @@ class AnnotationPipeline:
         query_ids: list[str | None],
         stats: WaveStats,
         commit_tags: list | None = None,
+        deadline: Deadline | None = None,
     ) -> list[AnnotationRecord]:
         if commit_tags is None:
             commit_tags = [None] * len(statements)
@@ -437,7 +476,9 @@ class AnnotationPipeline:
         with tel.span(
             "pipeline.wave", project=self.dataset_name, size=len(statements)
         ):
-            return self._run_wave_body(statements, query_ids, stats, commit_tags, tel)
+            return self._run_wave_body(
+                statements, query_ids, stats, commit_tags, tel, deadline
+            )
 
     def _run_wave_body(
         self,
@@ -446,6 +487,7 @@ class AnnotationPipeline:
         stats: WaveStats,
         commit_tags: list,
         tel: Telemetry,
+        deadline: Deadline | None = None,
     ) -> list[AnnotationRecord]:
         # Phase 1 — parse and decompose every statement in the wave.
         items: list[_WaveItem] = []
@@ -498,7 +540,12 @@ class AnnotationPipeline:
         # Phase 3 — one batched generation call for the whole wave.
         llm_started = time.perf_counter() if tel.enabled else 0.0
         results = self.llm.generate_batch_with_retry(
-            prompts, self._retry_policy, salt=self._retry_salt
+            prompts,
+            self._retry_policy,
+            salt=self._retry_salt,
+            deadline=deadline,
+            breaker=self.breaker,
+            hedge=self._hedge,
         )
         if tel.enabled:
             tel.observe(
@@ -523,7 +570,7 @@ class AnnotationPipeline:
         records: list[AnnotationRecord] = []
         for item in items:
             candidate_set = self._commit_candidate_set(
-                item, stats, feedback_revision, store_version
+                item, stats, feedback_revision, store_version, deadline
             )
             record = self.submit_feedback(
                 candidate_set,
@@ -541,6 +588,7 @@ class AnnotationPipeline:
         stats: WaveStats,
         feedback_revision: int,
         store_version: int,
+        deadline: Deadline | None = None,
     ) -> CandidateSet:
         """Reuse the wave's batched candidates when still valid, else redo.
 
@@ -588,7 +636,7 @@ class AnnotationPipeline:
 
         if stale:
             stats.regenerated_queries += 1
-            return self._regenerate(item, fresh_contexts, fresh_prompts)
+            return self._regenerate(item, fresh_contexts, fresh_prompts, deadline)
 
         stats.batched_queries += 1
         if item.decomposition is not None:
@@ -616,6 +664,7 @@ class AnnotationPipeline:
         item: _WaveItem,
         fresh_contexts: list[RetrievedContext | None] | None,
         fresh_prompts: list[Prompt] | None,
+        deadline: Deadline | None = None,
     ) -> CandidateSet:
         """Sequential-equivalent regeneration of one stale wave item.
 
@@ -631,7 +680,12 @@ class AnnotationPipeline:
         if item.decomposition is not None:
             unit_candidates = {
                 name: self.llm.generate_with_retry(
-                    prompt, self._retry_policy, salt=self._retry_salt
+                    prompt,
+                    self._retry_policy,
+                    salt=self._retry_salt,
+                    deadline=deadline,
+                    breaker=self.breaker,
+                    hedge=self._hedge,
                 ).candidates
                 for name, prompt in zip(item.unit_names, fresh_prompts)
             }
@@ -641,7 +695,12 @@ class AnnotationPipeline:
         else:
             unit_candidates = {}
             candidates = self.llm.generate_with_retry(
-                fresh_prompts[0], self._retry_policy, salt=self._retry_salt
+                fresh_prompts[0],
+                self._retry_policy,
+                salt=self._retry_salt,
+                deadline=deadline,
+                breaker=self.breaker,
+                hedge=self._hedge,
             ).candidates
             context = fresh_contexts[0]
             prompt = fresh_prompts[0]
@@ -695,6 +754,7 @@ class WaveRun:
         query_ids: list[str | None] | None = None,
         batch_size: int | None = None,
         commit_tags: list | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         if query_ids is not None and len(query_ids) != len(statements):
             raise PipelineError("query_ids must align with statements")
@@ -704,6 +764,8 @@ class WaveRun:
         if wave_size < 1:
             raise PipelineError("batch_size must be at least 1")
         self.pipeline = pipeline
+        #: Drain budget carried into every wave's LLM calls (``None`` = none).
+        self.deadline = deadline
         self._statements = list(statements)
         self._query_ids = list(query_ids) if query_ids is not None else None
         self._commit_tags = list(commit_tags) if commit_tags is not None else None
@@ -767,7 +829,7 @@ class WaveRun:
                 project=self.pipeline.dataset_name,
             )
         wave_records = self.pipeline._run_wave(
-            wave_statements, wave_ids, self.stats, wave_tags
+            wave_statements, wave_ids, self.stats, wave_tags, deadline=self.deadline
         )
         if tel.enabled:
             self._last_advance = time.perf_counter()

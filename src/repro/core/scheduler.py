@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.pipeline import WaveRun
 from repro.errors import JournalError, PipelineError
+from repro.llm.resilience import Deadline
 from repro.obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["WaveScheduler"]
@@ -63,7 +64,9 @@ class WaveScheduler:
         #: Rounds executed by the most recent :meth:`run_all` call.
         self.rounds = 0
 
-    def run_all(self, runs: dict[str, WaveRun]) -> dict[str, Exception]:
+    def run_all(
+        self, runs: dict[str, WaveRun], deadline: Deadline | None = None
+    ) -> dict[str, Exception]:
         """Advance every run to completion; returns per-project errors.
 
         Each round submits one ``run_next_wave`` per still-active project and
@@ -72,6 +75,14 @@ class WaveScheduler:
         recorded under its name (its committed prefix is untouched); fatal
         conditions — :class:`JournalError` or any non-``Exception``
         ``BaseException`` — are re-raised once the round has fully settled.
+
+        With a ``deadline``, no new round starts once the budget has expired:
+        the loop stops at the round barrier and the unfinished runs are left
+        for the caller to defer (each run's committed prefix is intact).  The
+        deadline also rides inside every wave (via
+        :attr:`WaveRun.deadline`), shrinking per-call LLM timeouts, so the
+        in-flight round itself cannot overshoot by more than the budget's
+        remaining slice.
         """
         self.rounds = 0
         errors: dict[str, Exception] = {}
@@ -83,6 +94,14 @@ class WaveScheduler:
             max_workers=self.max_workers, thread_name_prefix="wave"
         ) as pool:
             while active:
+                if deadline is not None and deadline.expired:
+                    if tel.enabled:
+                        tel.count("scheduler_deadline_stops_total")
+                        tel.event(
+                            "scheduler_deadline_stop",
+                            unfinished_projects=len(active),
+                        )
+                    break
                 self.rounds += 1
                 if tel.enabled:
                     tel.count("scheduler_rounds_total")

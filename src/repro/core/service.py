@@ -57,7 +57,12 @@ from repro.core.journal import (
     EventJournal,
     JournalEvent,
 )
-from repro.core.pipeline import AnnotationPipeline, AnnotationRecord, WaveRun
+from repro.core.pipeline import (
+    AnnotationPipeline,
+    AnnotationRecord,
+    WaveRun,
+    WaveStats,
+)
 from repro.core.snapshot import (
     SnapshotManager,
     capture_pipeline_state,
@@ -67,8 +72,18 @@ from repro.core.snapshot import (
 )
 from repro.core.feedback import Feedback
 from repro.core.scheduler import WaveScheduler
-from repro.errors import BackpressureError, JournalError, PipelineError
+from repro.errors import (
+    BackpressureError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradedModeError,
+    DiskFaultError,
+    JournalError,
+    PipelineError,
+    SnapshotError,
+)
 from repro.llm.base import LLMClient, UsageStats
+from repro.llm.resilience import Deadline
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.schema.model import DatabaseSchema
 
@@ -93,12 +108,19 @@ def format_quarantine_traceback(exc: BaseException) -> str:
 
 @dataclass
 class AnnotationJob:
-    """One queued annotation request."""
+    """One queued annotation request.
+
+    ``priority`` feeds load-shedding admission: when the service's global
+    pending queue enters its soft-shed band, only submits with a positive
+    priority are still admitted.  It does not reorder the queue — drains
+    stay strictly submission-ordered.
+    """
 
     job_id: int
     project: str
     sql: str
     query_id: str | None = None
+    priority: int = 0
 
 
 @dataclass
@@ -126,16 +148,59 @@ class CompletedJob:
 
 @dataclass
 class ProjectStats:
-    """Per-tenant slice of the service accounting."""
+    """Per-tenant slice of the service accounting.
+
+    ``deferred`` counts deferral *events* (a job deferred twice counts
+    twice); deferred jobs stay pending, so it does not enter the
+    :attr:`pending` arithmetic.
+    """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    deferred: int = 0
 
     @property
     def pending(self) -> int:
         """This tenant's jobs submitted but not yet drained (or quarantined)."""
         return self.submitted - self.completed - self.failed
+
+
+@dataclass
+class DrainReport:
+    """Degradation-aware summary of one :meth:`AnnotationService.drain` call.
+
+    Stored as :attr:`AnnotationService.last_drain_report` after every drain.
+    ``deferred`` jobs were re-queued (breaker open, deadline expired, or a
+    disk fault mid-drain) — not failed; a later drain will pick them up.
+    """
+
+    completed: int = 0
+    failed: int = 0
+    deferred: int = 0
+    deadline_expired: bool = False
+    degraded: bool = False
+    duration_seconds: float = 0.0
+
+
+@dataclass
+class _DrainOutcome:
+    """Internal per-drain accumulator (completed + deferred + wave counters)."""
+
+    completed: list[CompletedJob] = field(default_factory=list)
+    deferred: list[AnnotationJob] = field(default_factory=list)
+    waves: int = 0
+    batched: int = 0
+    regenerated: int = 0
+    llm_requests: int = 0
+
+    def absorb(self, other: "_DrainOutcome") -> None:
+        self.completed.extend(other.completed)
+        self.deferred.extend(other.deferred)
+        self.waves += other.waves
+        self.batched += other.batched
+        self.regenerated += other.regenerated
+        self.llm_requests += other.llm_requests
 
 
 @dataclass
@@ -151,6 +216,10 @@ class ServiceStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: Deferral events across drains (breaker-open / deadline / disk-fault
+    #: re-queues).  An operational counter: snapshots carry it, but journal
+    #: replay does not reconstruct it (deferred jobs are simply still queued).
+    deferred: int = 0
     waves: int = 0
     batched_queries: int = 0
     regenerated_queries: int = 0
@@ -192,6 +261,12 @@ class ServiceStats:
             self.failed += count
             self.per_project.setdefault(project, ProjectStats()).failed += count
 
+    def note_deferred(self, project: str, count: int = 1) -> None:
+        """Count re-queued (deferred, not failed) jobs for one tenant."""
+        with self._lock:
+            self.deferred += count
+            self.per_project.setdefault(project, ProjectStats()).deferred += count
+
     def note_drain(
         self, waves: int, batched: int, regenerated: int, llm_requests: int = 0
     ) -> None:
@@ -219,11 +294,24 @@ class AnnotationService:
         default_project: str = "default",
         max_concurrency: int = 1,
         telemetry: Telemetry | None = None,
+        global_pending_limit: int = 0,
+        shed_threshold: float = 0.8,
     ) -> None:
         if max_concurrency < 1:
             raise PipelineError("max_concurrency must be at least 1")
+        if global_pending_limit < 0:
+            raise PipelineError("global_pending_limit cannot be negative")
+        if not 0.0 < shed_threshold <= 1.0:
+            raise PipelineError("shed_threshold must be within (0, 1]")
         self._default_project = default_project
         self.max_concurrency = max_concurrency
+        #: Load-shedding admission: with a positive ``global_pending_limit``,
+        #: submits are rejected outright at the limit, and zero/negative
+        #: priority submits are shed once the total pending queue passes
+        #: ``shed_threshold * global_pending_limit`` (highest-priority work
+        #: keeps flowing the longest).  0 disables global shedding.
+        self.global_pending_limit = global_pending_limit
+        self.shed_threshold = shed_threshold
         #: Injected observability sink; the no-op default keeps every
         #: instrumented path bit-identical and effectively free.
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -238,6 +326,26 @@ class AnnotationService:
         self._snapshots: SnapshotManager | None = None
         self._snapshot_every = 0
         self._last_snapshot_offset = 0
+        self._degraded = False
+        #: Degradation-aware summary of the most recent :meth:`drain`.
+        self.last_drain_report: DrainReport | None = None
+
+    def __enter__(self) -> "AnnotationService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is in journaled-read-only degraded mode.
+
+        Entered when the journal hits a disk fault (ENOSPC, EIO, failed
+        fsync): reads — annotations, exports, stats — keep working, but
+        :meth:`submit` and :meth:`drain` raise :class:`DegradedModeError`
+        until an operator recovers a fresh service from the journal.
+        """
+        return self._degraded
 
     # ------------------------------------------------------------------
     # project management
@@ -289,16 +397,33 @@ class AnnotationService:
     # ------------------------------------------------------------------
 
     def submit(
-        self, sql: str, project: str | None = None, query_id: str | None = None
+        self,
+        sql: str,
+        project: str | None = None,
+        query_id: str | None = None,
+        priority: int = 0,
     ) -> int:
         """Enqueue one statement; returns its job id.
 
-        Admission control: when the project's
-        :attr:`~repro.core.config.TaskConfig.max_pending_per_project` is set
-        and the tenant already has that many queued jobs, the submit is
-        rejected with :class:`BackpressureError` *before* anything is
-        enqueued or journaled — the caller should drain and resubmit.
+        Admission control rejects a submit with :class:`BackpressureError`
+        *before* anything is enqueued or journaled — the caller should drain
+        and resubmit:
+
+        * per-tenant, when the project already has
+          :attr:`~repro.core.config.TaskConfig.max_pending_per_project`
+          queued jobs;
+        * globally (load shedding), when :attr:`global_pending_limit` is set
+          and the whole queue is at the limit — or past
+          ``shed_threshold * limit`` and this submit's ``priority`` is not
+          positive, so the lowest-priority traffic is shed first.
+
+        In degraded mode every submit raises :class:`DegradedModeError`.
         """
+        if self._degraded:
+            raise DegradedModeError(
+                "service is in journaled-read-only degraded mode after a disk "
+                "fault; recover it from its journal before submitting"
+            )
         name = project or self._default_project
         if name not in self._pipelines:
             raise PipelineError(f"project {name!r} is not registered")
@@ -317,9 +442,53 @@ class AnnotationService:
                 f"project {name!r} already has {queued} pending jobs "
                 f"(max_pending_per_project={limit}); drain before resubmitting"
             )
+        if self.global_pending_limit > 0:
+            total = len(self._queue)
+            shed_floor = self.shed_threshold * self.global_pending_limit
+            if total >= self.global_pending_limit or (
+                total >= shed_floor and priority <= 0
+            ):
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.count("service_load_shed_total", project=name)
+                    tel.event(
+                        "submit_shed",
+                        project=name,
+                        pending=total,
+                        limit=self.global_pending_limit,
+                        priority=priority,
+                    )
+                raise BackpressureError(
+                    f"global pending queue holds {total} jobs "
+                    f"(limit={self.global_pending_limit}, shed band starts at "
+                    f"{shed_floor:.0f}); submit with priority={priority} shed"
+                )
         job = AnnotationJob(
-            job_id=self._next_job_id, project=name, sql=sql, query_id=query_id
+            job_id=self._next_job_id,
+            project=name,
+            sql=sql,
+            query_id=query_id,
+            priority=priority,
         )
+        if self._journal is not None:
+            try:
+                self._journal.append(
+                    JOB_SUBMITTED,
+                    {
+                        "job_id": job.job_id,
+                        "project": job.project,
+                        "sql": job.sql,
+                        "query_id": job.query_id,
+                        "priority": job.priority,
+                    },
+                )
+            except DiskFaultError as exc:
+                # Nothing was enqueued; flip read-only instead of crashing.
+                self._enter_degraded_mode(exc)
+                raise DegradedModeError(
+                    f"submit rejected: journal hit a disk fault ({exc}); "
+                    "service is now in degraded mode"
+                ) from exc
         self._next_job_id += 1
         self._queue.append(job)
         self._pending_by_project[name] = queued + 1
@@ -328,16 +497,6 @@ class AnnotationService:
         if tel.enabled:
             tel.count("service_jobs_submitted_total", project=name)
             tel.gauge("service_pending_jobs", len(self._queue))
-        if self._journal is not None:
-            self._journal.append(
-                JOB_SUBMITTED,
-                {
-                    "job_id": job.job_id,
-                    "project": job.project,
-                    "sql": job.sql,
-                    "query_id": job.query_id,
-                },
-            )
         return job.job_id
 
     def submit_many(
@@ -366,7 +525,10 @@ class AnnotationService:
     # ------------------------------------------------------------------
 
     def drain(
-        self, max_jobs: int | None = None, concurrency: int | None = None
+        self,
+        max_jobs: int | None = None,
+        concurrency: int | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> list[CompletedJob]:
         """Process queued jobs through the batched wave scheduler.
 
@@ -385,20 +547,42 @@ class AnnotationService:
         records are bit-identical to a sequential drain, and the returned
         list is identical too.
 
+        ``deadline`` (seconds or a :class:`Deadline`) bounds the drain's wall
+        clock: it is carried through scheduler rounds into every LLM call
+        (shrinking per-call timeouts), and jobs that don't fit the budget are
+        *deferred* — re-queued at the front, counted in
+        :attr:`ServiceStats.deferred` and :attr:`last_drain_report`, never
+        quarantined.  Projects whose circuit breaker is open are deferred the
+        same way.
+
         Failure isolation: when a batched group raises, the jobs already
         committed keep their records, and the remainder re-runs one job at a
         time (bit-identical to the wave path) so a single poisoned statement
         is quarantined instead of sinking its whole wave.  Journal errors are
-        never swallowed — losing durability is fatal, not isolable.
+        never swallowed — losing durability is fatal, not isolable — with one
+        exception: an OS-level disk fault (:class:`DiskFaultError`) flips the
+        service into journaled-read-only degraded mode, salvages the
+        committed prefix and returns it instead of crashing mid-drain.
         """
+        if self._degraded:
+            raise DegradedModeError(
+                "service is in journaled-read-only degraded mode after a disk "
+                "fault; recover it from its journal before draining"
+            )
         if max_jobs is not None and max_jobs < 0:
             raise PipelineError("max_jobs cannot be negative")
         workers = self.max_concurrency if concurrency is None else concurrency
         if workers < 1:
             raise PipelineError("drain concurrency must be at least 1")
+        deadline = Deadline.coerce(deadline)
+        drain_started = time.perf_counter()
         taken = self._queue if max_jobs is None else self._queue[:max_jobs]
         self._queue = [] if max_jobs is None else self._queue[len(taken):]
         if not taken:
+            self.last_drain_report = DrainReport(
+                deadline_expired=deadline is not None and deadline.expired,
+                duration_seconds=time.perf_counter() - drain_started,
+            )
             return []
         for job in taken:
             remaining = self._pending_by_project.get(job.project, 0) - 1
@@ -407,50 +591,64 @@ class AnnotationService:
         by_project: dict[str, list[AnnotationJob]] = {}
         for job in taken:
             by_project.setdefault(job.project, []).append(job)
+        records_before = {
+            project: len(self._pipelines[project].annotations)
+            for project in by_project
+        }
 
         tel = self.telemetry
-        drain_started = time.perf_counter() if tel.enabled else 0.0
-        with tel.span(
-            "service.drain",
-            jobs=len(taken),
-            projects=len(by_project),
-            concurrency=workers,
-        ):
-            if workers > 1 and len(by_project) > 1:
-                completed, drain_waves, drain_batched, drain_regenerated, drain_llm = (
-                    self._drain_concurrent(by_project, workers)
-                )
-            else:
-                completed = []
-                drain_waves = drain_batched = drain_regenerated = drain_llm = 0
-                for project, jobs in by_project.items():
-                    items, waves, batched, regenerated, llm_requests = (
-                        self._drain_project(project, jobs)
+        try:
+            with tel.span(
+                "service.drain",
+                jobs=len(taken),
+                projects=len(by_project),
+                concurrency=workers,
+            ):
+                if workers > 1 and len(by_project) > 1:
+                    outcome = self._drain_concurrent(
+                        by_project, workers, records_before, deadline
                     )
-                    completed.extend(items)
-                    drain_waves += waves
-                    drain_batched += batched
-                    drain_regenerated += regenerated
-                    drain_llm += llm_requests
-            for item in completed:
-                if not item.failed:
-                    self.stats.note_completed(item.job.project)
-            self.stats.note_drain(
-                drain_waves, drain_batched, drain_regenerated, drain_llm
-            )
-            self._refresh_usage()
-            if self._journal is not None:
-                self._journal.append(
-                    DRAIN_STATS,
-                    {
-                        "waves": drain_waves,
-                        "batched_queries": drain_batched,
-                        "regenerated_queries": drain_regenerated,
-                        "llm_requests": drain_llm,
-                    },
+                else:
+                    outcome = _DrainOutcome()
+                    for project, jobs in by_project.items():
+                        outcome.absorb(
+                            self._drain_project(project, jobs, deadline)
+                        )
+                for item in outcome.completed:
+                    if not item.failed:
+                        self.stats.note_completed(item.job.project)
+                self._requeue_deferred(outcome.deferred)
+                self.stats.note_drain(
+                    outcome.waves,
+                    outcome.batched,
+                    outcome.regenerated,
+                    outcome.llm_requests,
                 )
-                self._journal.commit()  # group-commit point for "batch" fsync
-                self.maybe_snapshot()
+                self._refresh_usage()
+                if self._journal is not None:
+                    self._journal.append(
+                        DRAIN_STATS,
+                        {
+                            "waves": outcome.waves,
+                            "batched_queries": outcome.batched,
+                            "regenerated_queries": outcome.regenerated,
+                            "llm_requests": outcome.llm_requests,
+                        },
+                    )
+                    self._journal.commit()  # group-commit point for "batch" fsync
+                    self.maybe_snapshot()
+        except DiskFaultError as exc:
+            return self._salvage_disk_fault(
+                by_project, records_before, exc, drain_started
+            )
+        completed = outcome.completed
+        self.last_drain_report = DrainReport(
+            completed=sum(1 for item in completed if not item.failed),
+            failed=sum(1 for item in completed if item.failed),
+            deferred=len(outcome.deferred),
+            deadline_expired=deadline is not None and deadline.expired,
+            duration_seconds=time.perf_counter() - drain_started,
+        )
         if tel.enabled:
             tel.observe(
                 "service_drain_seconds", time.perf_counter() - drain_started
@@ -463,114 +661,195 @@ class AnnotationService:
             tel.gauge("service_pending_jobs", len(self._queue))
         return completed
 
-    def _drain_project(
-        self, project: str, jobs: list[AnnotationJob]
-    ) -> tuple[list[CompletedJob], int, int, int, int]:
-        """Run one project's jobs to completion on the calling thread.
+    def _requeue_deferred(self, jobs: list[AnnotationJob]) -> None:
+        """Push deferred jobs back to the *front* of the queue, in order.
 
-        Returns ``(completed, waves, batched, regenerated, llm_requests)``;
-        the wave counters are zero when the batched path raised and the group
-        fell back to per-job processing (matching the historical accounting).
+        Deferred jobs keep their ids and relative order, so the next drain
+        picks them up first and per-project commit order is preserved —
+        deferral never reorders a project's record stream.
+        """
+        if not jobs:
+            return
+        self._queue[:0] = jobs
+        tel = self.telemetry
+        counts: dict[str, int] = {}
+        for job in jobs:
+            self._pending_by_project[job.project] = (
+                self._pending_by_project.get(job.project, 0) + 1
+            )
+            counts[job.project] = counts.get(job.project, 0) + 1
+        for project, count in counts.items():
+            self.stats.note_deferred(project, count)
+            if tel.enabled:
+                tel.count("service_jobs_deferred_total", count, project=project)
+                tel.event("jobs_deferred", project=project, count=count)
+
+    def _drain_project(
+        self,
+        project: str,
+        jobs: list[AnnotationJob],
+        deadline: Deadline | None = None,
+    ) -> _DrainOutcome:
+        """Run one project's jobs on the calling thread, wave by wave.
+
+        Stops early — deferring the uncommitted remainder — when the drain
+        deadline expires or the project's circuit breaker refuses calls; any
+        other failure falls back to the committed-prefix + per-job quarantine
+        salvage path (whose wave counters stay zero, matching the historical
+        accounting).
         """
         pipeline = self._pipelines[project]
+        breaker = pipeline.breaker
+        if (breaker is not None and not breaker.would_allow()) or (
+            deadline is not None and deadline.expired
+        ):
+            return _DrainOutcome(deferred=list(jobs))
         records_before = len(pipeline.annotations)
+        run = pipeline.wave_run(
+            [job.sql for job in jobs],
+            query_ids=[job.query_id for job in jobs],
+            commit_tags=[job.job_id for job in jobs],
+            deadline=deadline,
+        )
         try:
-            records = pipeline.annotate_many(
-                [job.sql for job in jobs],
-                query_ids=[job.query_id for job in jobs],
-                commit_tags=[job.job_id for job in jobs],
-            )
-            run = pipeline.last_run_stats
-            completed = [
-                CompletedJob(job=job, record=record)
-                for job, record in zip(jobs, records)
-            ]
-            return (
-                completed,
-                run.waves,
-                run.batched_queries,
-                run.regenerated_queries,
-                run.llm_requests,
-            )
+            while not run.done:
+                if deadline is not None and deadline.expired:
+                    break
+                if breaker is not None and not breaker.would_allow():
+                    break
+                run.run_next_wave()
         except JournalError:
             raise
+        except (CircuitOpenError, DeadlineExceededError):
+            pass  # defer the uncommitted remainder below
         except Exception:
             # The already-committed prefix (journaled, archived) is kept;
             # everything after it — including the job that raised — is
             # retried individually so one bad statement cannot sink its
             # wave-mates.
-            return (
-                self._recover_project_drain(project, jobs, records_before),
-                0,
-                0,
-                0,
-                0,
-            )
+            return self._recover_project_drain(project, jobs, records_before)
+        run.finish()
+        return self._settle_partial_run(
+            pipeline, jobs, records_before, run_stats=run.stats
+        )
+
+    def _settle_partial_run(
+        self,
+        pipeline: AnnotationPipeline,
+        jobs: list[AnnotationJob],
+        records_before: int,
+        run_stats: "WaveStats | None" = None,
+    ) -> _DrainOutcome:
+        """Split a (possibly unfinished) run into completed + deferred jobs.
+
+        The committed prefix is read off the pipeline's annotation list, not
+        the run's record buffer, so commits that landed mid-wave before a
+        deferral signal are never re-run.
+        """
+        committed = pipeline.annotations[records_before:]
+        done = min(len(committed), len(jobs))
+        outcome = _DrainOutcome(
+            completed=[
+                CompletedJob(job=job, record=record)
+                for job, record in zip(jobs[:done], committed)
+            ],
+            deferred=list(jobs[done:]),
+        )
+        if run_stats is not None:
+            outcome.waves = run_stats.waves
+            outcome.batched = run_stats.batched_queries
+            outcome.regenerated = run_stats.regenerated_queries
+            outcome.llm_requests = run_stats.llm_requests
+        return outcome
 
     def _recover_project_drain(
         self, project: str, jobs: list[AnnotationJob], records_before: int
-    ) -> list[CompletedJob]:
+    ) -> _DrainOutcome:
         """Salvage a project group whose batched run raised mid-drain."""
         pipeline = self._pipelines[project]
         done = len(pipeline.annotations) - records_before
         committed_records = pipeline.annotations[records_before:]
-        completed = [
-            CompletedJob(job=job, record=record)
-            for job, record in zip(jobs[:done], committed_records)
-        ]
-        completed.extend(self._drain_sequentially(pipeline, jobs[done:]))
-        return completed
+        outcome = _DrainOutcome(
+            completed=[
+                CompletedJob(job=job, record=record)
+                for job, record in zip(jobs[:done], committed_records)
+            ]
+        )
+        sequential, deferred = self._drain_sequentially(pipeline, jobs[done:])
+        outcome.completed.extend(sequential)
+        outcome.deferred.extend(deferred)
+        return outcome
 
     def _drain_concurrent(
-        self, by_project: dict[str, list[AnnotationJob]], workers: int
-    ) -> tuple[list[CompletedJob], int, int, int, int]:
+        self,
+        by_project: dict[str, list[AnnotationJob]],
+        workers: int,
+        records_before: dict[str, int],
+        deadline: Deadline | None = None,
+    ) -> _DrainOutcome:
         """Advance every project's waves round-by-round through a worker pool.
 
         Results are assembled in ``by_project`` order after the scheduler
         finishes, so the returned list is identical to the sequential drain's
-        regardless of how waves interleaved in time.  Projects whose run
-        raised fall back to the same committed-prefix + per-job salvage path
-        as sequential drain.
+        regardless of how waves interleaved in time.  Projects whose breaker
+        is open are deferred before scheduling; runs the deadline cut short
+        (and runs stopped by a deferral signal mid-wave) keep their committed
+        prefix and defer the rest; other failures fall back to the same
+        committed-prefix + per-job salvage path as sequential drain.
         """
         runs: dict[str, WaveRun] = {}
-        records_before: dict[str, int] = {}
         for project, jobs in by_project.items():
             pipeline = self._pipelines[project]
-            records_before[project] = len(pipeline.annotations)
+            breaker = pipeline.breaker
+            if breaker is not None and not breaker.would_allow():
+                continue  # deferred wholesale during assembly below
             runs[project] = pipeline.wave_run(
                 [job.sql for job in jobs],
                 query_ids=[job.query_id for job in jobs],
                 commit_tags=[job.job_id for job in jobs],
+                deadline=deadline,
             )
         scheduler = WaveScheduler(max_workers=workers, telemetry=self.telemetry)
-        errors = scheduler.run_all(runs)
-        completed: list[CompletedJob] = []
-        waves = batched = regenerated = llm_requests = 0
+        errors = scheduler.run_all(runs, deadline=deadline)
+        outcome = _DrainOutcome()
         for project, jobs in by_project.items():
-            run = runs[project]
-            if project not in errors:
-                waves += run.stats.waves
-                batched += run.stats.batched_queries
-                regenerated += run.stats.regenerated_queries
-                llm_requests += run.stats.llm_requests
-                completed.extend(
-                    CompletedJob(job=job, record=record)
-                    for job, record in zip(jobs, run.records)
-                )
-            else:
-                completed.extend(
+            pipeline = self._pipelines[project]
+            run = runs.get(project)
+            if run is None:
+                outcome.deferred.extend(jobs)
+                continue
+            error = errors.get(project)
+            if error is not None and not isinstance(
+                error, (CircuitOpenError, DeadlineExceededError)
+            ):
+                outcome.absorb(
                     self._recover_project_drain(
                         project, jobs, records_before[project]
                     )
                 )
-        return completed, waves, batched, regenerated, llm_requests
+                continue
+            run.finish()
+            outcome.absorb(
+                self._settle_partial_run(
+                    pipeline,
+                    jobs,
+                    records_before[project],
+                    run_stats=run.stats if error is None else None,
+                )
+            )
+        return outcome
 
     def _drain_sequentially(
         self, pipeline: AnnotationPipeline, jobs: list[AnnotationJob]
-    ) -> list[CompletedJob]:
-        """Per-job fallback path with quarantine for jobs that still fail."""
+    ) -> tuple[list[CompletedJob], list[AnnotationJob]]:
+        """Per-job fallback path with quarantine for jobs that still fail.
+
+        Deferral signals (breaker open, deadline exhausted) stop the loop and
+        hand the remaining jobs back for re-queueing — they are scheduling
+        outcomes, not job failures, so they never reach the quarantine.
+        """
         results: list[CompletedJob] = []
-        for job in jobs:
+        for index, job in enumerate(jobs):
             try:
                 record = pipeline.annotate(
                     job.sql, query_id=job.query_id, commit_tag=job.job_id
@@ -578,9 +857,80 @@ class AnnotationService:
                 results.append(CompletedJob(job=job, record=record))
             except JournalError:
                 raise
+            except (CircuitOpenError, DeadlineExceededError):
+                return results, list(jobs[index:])
             except Exception as exc:
                 results.append(self._fail_job(job, exc))
-        return results
+        return results, []
+
+    def _salvage_disk_fault(
+        self,
+        by_project: dict[str, list[AnnotationJob]],
+        records_before: dict[str, int],
+        exc: DiskFaultError,
+        drain_started: float,
+    ) -> list[CompletedJob]:
+        """Settle a drain interrupted by a disk fault and go degraded.
+
+        Every annotation whose journal append succeeded before the fault is
+        returned as completed; everything else is re-queued (deferred).  The
+        service then flips to journaled-read-only degraded mode — the right
+        trade for a full disk: existing work stays readable, new mutations
+        are refused until an operator recovers from the (intact) journal
+        prefix.  Note the in-memory view may lead the journal by the one
+        record whose append failed; recovery replays journal truth.
+        """
+        completed: list[CompletedJob] = []
+        deferred: list[AnnotationJob] = []
+        for project, jobs in by_project.items():
+            pipeline = self._pipelines[project]
+            committed = pipeline.annotations[records_before[project]:]
+            done = min(len(committed), len(jobs))
+            completed.extend(
+                CompletedJob(job=job, record=record)
+                for job, record in zip(jobs[:done], committed)
+            )
+            deferred.extend(jobs[done:])
+        for item in completed:
+            self.stats.note_completed(item.job.project)
+        self._requeue_deferred(deferred)
+        self._refresh_usage()
+        self._enter_degraded_mode(exc)
+        self.last_drain_report = DrainReport(
+            completed=len(completed),
+            deferred=len(deferred),
+            degraded=True,
+            duration_seconds=time.perf_counter() - drain_started,
+        )
+        return completed
+
+    def _enter_degraded_mode(self, exc: DiskFaultError) -> None:
+        """Flip to journaled-read-only mode after an OS-level disk fault.
+
+        Journaling stops (the handle is released best-effort), pipelines are
+        detached so no further appends are attempted, and subsequent
+        :meth:`submit`/:meth:`drain` calls raise :class:`DegradedModeError`.
+        In-memory reads keep working.
+        """
+        self._degraded = True
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("service_degraded_transitions_total")
+            tel.event(
+                "service_degraded",
+                error=str(exc),
+                errno=exc.errno if exc.errno is not None else "",
+            )
+        journal = self._journal
+        self._journal = None
+        self._snapshots = None
+        for pipeline in self._pipelines.values():
+            pipeline.attach_journal(None)
+        if journal is not None:
+            try:
+                journal.close()
+            except JournalError:
+                pass  # the disk is already known-bad; nothing left to save
 
     def _fail_job(self, job: AnnotationJob, exc: Exception) -> CompletedJob:
         """Quarantine one failing job (journaled, counted, returned).
@@ -672,6 +1022,20 @@ class AnnotationService:
         self._snapshots = snapshots
         self._snapshot_every = snapshot_every
         journal.telemetry = self.telemetry
+        if journal.recovery.torn and self.telemetry.enabled:
+            salvage = journal.recovery.salvage
+            kind = salvage.kind if salvage is not None else "torn_tail"
+            self.telemetry.count("journal_salvage_total", kind=kind)
+            self.telemetry.event(
+                "journal_salvaged",
+                kind=kind,
+                reason=salvage.reason if salvage is not None else "unknown",
+                valid_records=journal.recovery.record_count,
+                dropped_bytes=journal.recovery.dropped_bytes,
+                resynced_records=(
+                    salvage.resynced_records if salvage is not None else 0
+                ),
+            )
         if snapshots is not None:
             snapshots.telemetry = self.telemetry
             covered = [
@@ -689,7 +1053,12 @@ class AnnotationService:
         return self.maybe_snapshot(force=True)
 
     def maybe_snapshot(self, force: bool = False) -> Path | None:
-        """Write a snapshot when the cadence (or ``force``) says so."""
+        """Write a snapshot when the cadence (or ``force``) says so.
+
+        Snapshots are an optimisation (warm start), not the source of truth —
+        a snapshot that cannot be written is logged and skipped rather than
+        failing the drain, since the journal already holds everything.
+        """
         if self._journal is None or self._snapshots is None:
             return None
         offset = self._journal.record_count
@@ -700,7 +1069,14 @@ class AnnotationService:
         if not (force or due):
             return None
         self._journal.commit()  # the snapshot must not lead the journal
-        path = self._snapshots.save(offset, self.capture_state())
+        try:
+            path = self._snapshots.save(offset, self.capture_state())
+        except SnapshotError as exc:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("snapshot_write_failures_total")
+                tel.event("snapshot_write_failed", error=str(exc), offset=offset)
+            return None
         self._last_snapshot_offset = offset
         return path
 
@@ -744,6 +1120,7 @@ class AnnotationService:
                 "submitted": self.stats.submitted,
                 "completed": self.stats.completed,
                 "failed": self.stats.failed,
+                "deferred": self.stats.deferred,
                 "waves": self.stats.waves,
                 "batched_queries": self.stats.batched_queries,
                 "regenerated_queries": self.stats.regenerated_queries,
@@ -787,6 +1164,7 @@ class AnnotationService:
             self.stats.submitted = int(stats["submitted"])
             self.stats.completed = int(stats["completed"])
             self.stats.failed = int(stats["failed"])
+            self.stats.deferred = int(stats.get("deferred", 0))
             self.stats.waves = int(stats["waves"])
             self.stats.batched_queries = int(stats["batched_queries"])
             self.stats.regenerated_queries = int(stats["regenerated_queries"])
@@ -796,6 +1174,7 @@ class AnnotationService:
                     submitted=int(entry["submitted"]),
                     completed=int(entry["completed"]),
                     failed=int(entry["failed"]),
+                    deferred=int(entry.get("deferred", 0)),
                 )
 
     @classmethod
@@ -895,6 +1274,7 @@ class AnnotationService:
                 project=payload["project"],
                 sql=payload["sql"],
                 query_id=payload["query_id"],
+                priority=payload.get("priority", 0),
             )
             self._queue.append(job)
             self._pending_by_project[job.project] = (

@@ -212,6 +212,9 @@ class SnapshotManager:
             state = self._try_load(self.path_for(offset))
             if state is not None:
                 return offset, state
+            if self.telemetry.enabled:
+                self.telemetry.count("snapshot_fallbacks_total")
+                self.telemetry.event("snapshot_fallback", skipped_offset=offset)
         return None
 
     def _try_load(self, path: Path) -> dict | None:

@@ -79,6 +79,27 @@ class LLMTimeoutError(TransientLLMError):
     """An LLM call exceeded its per-call timeout budget."""
 
 
+class CircuitOpenError(LLMError):
+    """An LLM call was fast-failed because its circuit breaker is open.
+
+    Deliberately *not* transient: the whole point of the breaker is to stop
+    burning retry budget against a backend that is known to be down.  The
+    service layer treats it as a *deferral* signal — the affected project's
+    jobs go back to the queue instead of the quarantine.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """An operation ran out of its deadline budget.
+
+    Raised when a :class:`~repro.llm.resilience.Deadline` carried through a
+    drain expires before (or during) an LLM call.  Like
+    :class:`CircuitOpenError` this is a deferral signal, not a backend
+    failure: the work is still valid, there is just no time left for it in
+    this drain.
+    """
+
+
 class PipelineError(ReproError):
     """Raised by the BenchPress annotation pipeline orchestration."""
 
@@ -118,6 +139,29 @@ class ExportError(ReproError):
 
 class JournalError(ReproError):
     """Raised by the durability event journal (I/O, format, replay errors)."""
+
+
+class DiskFaultError(JournalError):
+    """A journal write failed at the OS level (ENOSPC, EIO, failed fsync...).
+
+    Subclass of :class:`JournalError` so every existing "durability errors
+    are never swallowed" path still applies; the service additionally treats
+    it as the trigger for *degraded mode* (journaled-read-only) instead of
+    crashing mid-drain — a full disk should stop writes, not annotators.
+    """
+
+    def __init__(self, message: str, errno_value: int | None = None) -> None:
+        super().__init__(message)
+        self.errno = errno_value
+
+
+class DegradedModeError(ReproError):
+    """A mutating operation was rejected because the service is degraded.
+
+    After a disk fault the service flips to journaled-read-only mode:
+    existing annotations, exports and stats stay readable, but submits and
+    drains raise this error until an operator recovers the service from its
+    (healed) journal."""
 
 
 class SnapshotError(ReproError):

@@ -13,13 +13,19 @@ import abc
 import hashlib
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
-from repro.errors import LLMTimeoutError, TransientLLMError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    LLMTimeoutError,
+    TransientLLMError,
+)
 from repro.llm.prompts import Prompt
+from repro.llm.resilience import CircuitBreaker, Deadline, HedgePolicy
 from repro.obs import NULL_TELEMETRY, Telemetry
 
 _T = TypeVar("_T")
@@ -69,6 +75,12 @@ class RetryPolicy:
             limit).  Timeouts are enforced by running the call on a worker
             thread; an abandoned call may still run to completion in the
             background, but the caller regains control at the deadline.
+        retry_budget_s: Total elapsed-time cap across *all* attempts and
+            backoff sleeps of one logical call (``None`` = no cap).  With a
+            high ``max_attempts`` the worst-case sleep of plain jittered
+            backoff is unbounded in practice; the budget guarantees a call
+            gives up (re-raising the last transient error) once it has spent
+            its share of the caller's time, instead of sleeping past it.
     """
 
     max_attempts: int = 3
@@ -76,6 +88,7 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.5
     call_timeout: float | None = None
+    retry_budget_s: float | None = None
 
     def delay(self, attempt: int, salt: str = "") -> float:
         """Backoff before retry ``attempt`` (0-based), jitter applied."""
@@ -246,7 +259,13 @@ class LLMClient(abc.ABC):
     # ------------------------------------------------------------------
 
     def generate_with_retry(
-        self, prompt: Prompt, policy: RetryPolicy | None = None, salt: str = ""
+        self,
+        prompt: Prompt,
+        policy: RetryPolicy | None = None,
+        salt: str = "",
+        deadline: Deadline | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge: HedgePolicy | None = None,
     ) -> GenerationResult:
         """:meth:`generate` hardened with retry/backoff/timeout.
 
@@ -260,9 +279,20 @@ class LLMClient(abc.ABC):
         transient backend error on the same SQL at the same moment, distinct
         salts spread their retries apart instead of letting the whole fleet
         hammer the backend again in lockstep.
+
+        ``deadline`` shrinks the per-call timeout so the attempt sequence
+        cannot outlive the caller's drain budget; ``breaker`` fast-fails with
+        :class:`~repro.errors.CircuitOpenError` while its backend is
+        considered down; ``hedge`` fires a backup call behind a slow primary
+        and takes the first answer.
         """
         result = self._resilient_call(
-            lambda: self.generate(prompt), policy, salt=_join_salt(salt, prompt.sql)
+            lambda: self.generate(prompt),
+            policy,
+            salt=_join_salt(salt, prompt.sql),
+            deadline=deadline,
+            breaker=breaker,
+            hedge=hedge,
         )
         tel = self.telemetry
         if tel.enabled:
@@ -273,18 +303,29 @@ class LLMClient(abc.ABC):
         return result
 
     def generate_batch_with_retry(
-        self, prompts: list[Prompt], policy: RetryPolicy | None = None, salt: str = ""
+        self,
+        prompts: list[Prompt],
+        policy: RetryPolicy | None = None,
+        salt: str = "",
+        deadline: Deadline | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge: HedgePolicy | None = None,
     ) -> list[GenerationResult]:
         """:meth:`generate_batch` hardened with retry/backoff/timeout.
 
         ``salt`` de-synchronises backoff across tenants exactly as in
-        :meth:`generate_with_retry`.
+        :meth:`generate_with_retry`; ``deadline``/``breaker``/``hedge``
+        behave identically too (a hedged batch duplicates the whole batched
+        call — the usual hedging cost/latency trade).
         """
         base = prompts[0].sql if prompts else ""
         results = self._resilient_call(
             lambda: self.generate_batch(prompts),
             policy,
             salt=_join_salt(salt, f"batch:{len(prompts)}:{base}"),
+            deadline=deadline,
+            breaker=breaker,
+            hedge=hedge,
         )
         tel = self.telemetry
         if tel.enabled:
@@ -297,10 +338,30 @@ class LLMClient(abc.ABC):
         return results
 
     def _resilient_call(
-        self, call: Callable[[], _T], policy: RetryPolicy | None, salt: str
+        self,
+        call: Callable[[], _T],
+        policy: RetryPolicy | None,
+        salt: str,
+        deadline: Deadline | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge: HedgePolicy | None = None,
     ) -> _T:
         tel = self.telemetry
-        if policy is None:
+
+        def breaker_gate() -> None:
+            # Checked before *every* attempt, not just the first: a breaker
+            # tripped by an earlier attempt in this very retry loop must stop
+            # the remaining attempts (fast-fail into deferral) instead of
+            # letting them burn the attempt budget into a terminal error.
+            if breaker is not None and not breaker.allow():
+                if tel.enabled:
+                    tel.count("llm_breaker_fastfail_total", model=self.name)
+                raise CircuitOpenError(
+                    f"circuit breaker for {self.name!r} is open; call fast-failed"
+                )
+
+        breaker_gate()
+        if policy is None and deadline is None and breaker is None and hedge is None:
             if not tel.enabled:
                 return call()
             started = time.perf_counter()
@@ -309,14 +370,42 @@ class LLMClient(abc.ABC):
                 "llm_call_seconds", time.perf_counter() - started, model=self.name
             )
             return result
+
+        attempts = policy.max_attempts if policy is not None else 1
+        call_timeout = policy.call_timeout if policy is not None else None
+        budget = (
+            Deadline(policy.retry_budget_s)
+            if policy is not None and policy.retry_budget_s is not None
+            else None
+        )
         started = time.perf_counter() if tel.enabled else 0.0
-        for attempt in range(policy.max_attempts):
+        for attempt in range(attempts):
+            if attempt > 0:
+                breaker_gate()
+            timeout, clamped = self._effective_timeout(
+                call_timeout, deadline, budget, tel
+            )
+            call_started = time.perf_counter()
             try:
-                result = self._call_with_timeout(call, policy.call_timeout)
+                result = self._execute(call, timeout, hedge, tel)
             except Exception as exc:
-                if tel.enabled and isinstance(exc, LLMTimeoutError):
-                    tel.count("llm_timeouts_total", model=self.name)
-                if not is_transient_error(exc) or attempt + 1 >= policy.max_attempts:
+                if isinstance(exc, LLMTimeoutError):
+                    if tel.enabled:
+                        tel.count("llm_timeouts_total", model=self.name)
+                    if clamped:
+                        # The timeout that cut this call was the *deadline's*,
+                        # not the per-call policy's: the backend was given less
+                        # than its usual budget, so don't blame it (no breaker
+                        # failure) — report deadline exhaustion instead.
+                        if tel.enabled:
+                            tel.count("llm_deadline_exhausted_total", model=self.name)
+                        raise DeadlineExceededError(
+                            f"LLM call on {self.name!r} was cut at the caller's "
+                            f"deadline ({timeout:.3f}s remaining)"
+                        ) from exc
+                if breaker is not None:
+                    breaker.record_failure()
+                if not is_transient_error(exc) or attempt + 1 >= attempts:
                     if tel.enabled:
                         tel.count(
                             "llm_errors_total",
@@ -325,12 +414,19 @@ class LLMClient(abc.ABC):
                         )
                     raise
                 delay = policy.delay(attempt, salt)
+                if not self._delay_fits(delay, deadline, budget):
+                    if tel.enabled:
+                        tel.count("llm_retry_budget_exhausted_total", model=self.name)
+                    raise
                 if tel.enabled:
                     tel.count("llm_retries_total", model=self.name)
                     tel.observe("llm_backoff_seconds", delay, model=self.name)
                 if delay > 0:
                     time.sleep(delay)
             else:
+                self._note_latency(time.perf_counter() - call_started)
+                if breaker is not None:
+                    breaker.record_success()
                 if tel.enabled:
                     tel.observe(
                         "llm_call_seconds",
@@ -340,15 +436,88 @@ class LLMClient(abc.ABC):
                 return result
         raise AssertionError("unreachable: retry loop returns or raises")
 
+    def _effective_timeout(
+        self,
+        call_timeout: float | None,
+        deadline: Deadline | None,
+        budget: Deadline | None,
+        tel: Telemetry,
+    ) -> tuple[float | None, bool]:
+        """Shrink the per-call timeout under the deadline/retry budget.
+
+        Returns ``(timeout, clamped)`` where ``clamped`` records that the
+        deadline (not the policy) is the binding constraint; raises
+        :class:`DeadlineExceededError` when no time is left at all.
+        """
+        timeout = call_timeout
+        clamped = False
+        for bound in (deadline, budget):
+            if bound is None:
+                continue
+            remaining = bound.remaining()
+            if remaining <= 0:
+                if tel.enabled:
+                    tel.count("llm_deadline_exhausted_total", model=self.name)
+                raise DeadlineExceededError(
+                    f"no time remaining to call {self.name!r} "
+                    f"(deadline budget exhausted)"
+                )
+            if timeout is None or remaining < timeout:
+                timeout = remaining
+                clamped = True
+        return timeout, clamped
+
+    @staticmethod
+    def _delay_fits(
+        delay: float, deadline: Deadline | None, budget: Deadline | None
+    ) -> bool:
+        """Whether a backoff sleep still fits inside every active budget."""
+        for bound in (deadline, budget):
+            if bound is not None and delay >= bound.remaining():
+                return False
+        return True
+
+    # -- hedged / timed execution --------------------------------------
+
+    #: Bounded reservoir of recent successful call latencies, feeding the
+    #: percentile-derived hedge delay.
+    _LATENCY_RESERVOIR = 256
+
+    def _note_latency(self, seconds: float) -> None:
+        samples = getattr(self, "_latency_samples", None)
+        if samples is None:
+            samples = []
+            self._latency_samples = samples
+        samples.append(seconds)
+        if len(samples) > self._LATENCY_RESERVOIR:
+            del samples[: len(samples) - self._LATENCY_RESERVOIR]
+
+    @property
+    def latency_samples(self) -> list[float]:
+        """Recent successful call latencies (most recent last)."""
+        return list(getattr(self, "_latency_samples", []))
+
+    def _execute(
+        self,
+        call: Callable[[], _T],
+        timeout: float | None,
+        hedge: HedgePolicy | None,
+        tel: Telemetry,
+    ) -> _T:
+        if hedge is not None:
+            hedge_delay = hedge.resolve_delay(
+                getattr(self, "_latency_samples", [])
+            )
+            if hedge_delay is not None and (
+                timeout is None or hedge_delay < timeout
+            ):
+                return self._call_hedged(call, timeout, hedge_delay, tel)
+        return self._call_with_timeout(call, timeout)
+
     def _call_with_timeout(self, call: Callable[[], _T], timeout: float | None) -> _T:
         if timeout is None:
             return call()
-        executor = getattr(self, "_timeout_executor", None)
-        if executor is None:
-            executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"{self.name}-llm-timeout"
-            )
-            self._timeout_executor = executor
+        executor = self._executor()
         future = executor.submit(call)
         try:
             return future.result(timeout)
@@ -357,6 +526,76 @@ class LLMClient(abc.ABC):
             raise LLMTimeoutError(
                 f"LLM call on {self.name!r} exceeded its {timeout:.3f}s budget"
             ) from None
+
+    def _call_hedged(
+        self,
+        call: Callable[[], _T],
+        timeout: float | None,
+        hedge_delay: float,
+        tel: Telemetry,
+    ) -> _T:
+        """Primary call, then a backup after ``hedge_delay``; first answer wins.
+
+        The loser is cancelled if it never started, and ignored otherwise —
+        deterministically: when both futures complete in the same wait batch
+        the primary wins, so a fast backend never changes the result.
+        """
+        expires_at = None if timeout is None else time.monotonic() + timeout
+        executor = self._executor()
+        primary = executor.submit(call)
+        try:
+            return primary.result(hedge_delay)
+        except _FutureTimeout:
+            pass  # primary is slow: hedge it
+        if tel.enabled:
+            tel.count("llm_hedges_total", model=self.name)
+        backup = executor.submit(call)
+        pending = {primary, backup}
+        last_error: BaseException | None = None
+        while pending:
+            remaining = (
+                None if expires_at is None else expires_at - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                break
+            done, pending = wait(
+                pending, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                break  # overall timeout
+            # Deterministic winner order: primary before backup.
+            for future in sorted(done, key=lambda f: f is backup):
+                error = future.exception()
+                if error is not None:
+                    last_error = error
+                    continue
+                if tel.enabled:
+                    tel.count(
+                        "llm_hedge_wins_total",
+                        model=self.name,
+                        winner="backup" if future is backup else "primary",
+                    )
+                for loser in pending:
+                    loser.cancel()
+                return future.result()
+        if last_error is not None and not pending:
+            raise last_error
+        for future in pending:
+            future.cancel()
+        raise LLMTimeoutError(
+            f"hedged LLM call on {self.name!r} exceeded its "
+            f"{timeout if timeout is not None else float('inf'):.3f}s budget"
+        ) from None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """Lazily-created worker pool for timed and hedged calls."""
+        executor = getattr(self, "_timeout_executor", None)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix=f"{self.name}-llm-timeout"
+            )
+            self._timeout_executor = executor
+        return executor
 
     @abc.abstractmethod
     def backtranslate(self, description: str, schema_text: str = "") -> str | None:

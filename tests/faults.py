@@ -22,8 +22,10 @@ import time
 import zlib
 from pathlib import Path
 
+import errno as errno_module
+
 from repro.core.journal import _HEADER, EventJournal
-from repro.errors import TransientLLMError
+from repro.errors import DiskFaultError, TransientLLMError
 from repro.llm.base import GenerationResult, LLMClient
 from repro.llm.prompts import Prompt
 
@@ -95,6 +97,41 @@ class CrashingJournal(EventJournal):
             # sweep recover from an *empty* prefix.  Flushing here pins the
             # richest durable prefix the scanner can ever face, so the sweep
             # exercises recovery at every record boundary.
+            self._handle.flush()
+            return offset
+
+
+class DiskFaultJournal(EventJournal):
+    """Journal whose appends hit an OS-level disk fault from ``fail_at`` on.
+
+    ``fail_at`` counts appends 1-based, like :class:`CrashingJournal`; every
+    append at or past it raises :class:`~repro.errors.DiskFaultError`
+    (default errno ENOSPC — the disk stays full).  Surviving appends are
+    flushed through so the durable prefix is exactly the successful ones.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "batch",
+        fail_at: int | None = None,
+        errno_value: int = errno_module.ENOSPC,
+    ) -> None:
+        super().__init__(path, fsync=fsync)
+        self.fail_at = fail_at
+        self.errno_value = errno_value
+        self.appends_attempted = 0
+
+    def append(self, event_type: str, payload: dict) -> int:
+        with self._lock:
+            self.appends_attempted += 1
+            if self.fail_at is not None and self.appends_attempted >= self.fail_at:
+                raise DiskFaultError(
+                    f"injected disk fault at append #{self.appends_attempted} "
+                    f"({event_type})",
+                    errno_value=self.errno_value,
+                )
+            offset = super().append(event_type, payload)
             self._handle.flush()
             return offset
 

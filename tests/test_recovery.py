@@ -252,6 +252,95 @@ class TestTornTail:
         assert len(events) == len(boundaries)
 
 
+class TestInteriorCorruption:
+    """Byte flips in *interior* records: the committed prefix must survive
+    and salvage must resynchronise on the records beyond the damage."""
+
+    @staticmethod
+    def flip_positions(start: int, end: int) -> list[int]:
+        """Every header byte plus a payload sample — bounded but thorough."""
+        header_size = struct.Struct("<II").size
+        positions = list(range(start, min(start + header_size, end)))
+        body = range(start + header_size, end)
+        stride = max(1, len(body) // 16)
+        positions.extend(body[::stride])
+        return positions
+
+    def test_flip_sweep_salvages_prefix_and_resyncs(self, torn_image, tmp_path):
+        boundaries = record_boundaries(torn_image)
+        path = tmp_path / "flipped.bin"
+        for record_index in range(len(boundaries) - 1):  # interior records only
+            start, end = boundaries[record_index]
+            for position in self.flip_positions(start, end):
+                corrupted = bytearray(torn_image)
+                corrupted[position] ^= 0x40
+                path.write_bytes(bytes(corrupted))
+                recovery = EventJournal.scan(path)
+                where = f"record {record_index}, flip at byte {position}"
+                # The valid prefix is exactly the records before the damage.
+                assert recovery.record_count == record_index, where
+                assert recovery.torn, where
+                salvage = recovery.salvage
+                assert salvage is not None, where
+                assert salvage.valid_records == record_index, where
+                assert salvage.valid_bytes == start, where
+                assert salvage.corrupt_at_byte == start, where
+                assert salvage.dropped_bytes == len(torn_image) - start, where
+                assert salvage.reason in {
+                    "crc_mismatch",
+                    "torn_record",
+                    "implausible_length",
+                }, where
+                # Scan-forward resync must find every record past the damage.
+                assert salvage.resync_offset == boundaries[record_index + 1][0], where
+                assert salvage.resynced_records == len(boundaries) - record_index - 1, where
+                assert salvage.kind == "mid_stream_corruption", where
+
+    def test_recovery_from_interior_flip_is_exact_prefix_state(
+        self, torn_image, tmp_path
+    ):
+        boundaries = record_boundaries(torn_image)
+
+        def recovered_state(image: bytes, name: str) -> dict:
+            directory = tmp_path / name
+            directory.mkdir()
+            path = directory / "journal.bin"
+            path.write_bytes(image)
+            service = AnnotationService.recover(path)
+            state = semantic_state(service)
+            service.close()
+            return state
+
+        for record_index in range(len(boundaries) - 1):
+            start, end = boundaries[record_index]
+            corrupted = bytearray(torn_image)
+            corrupted[(start + end) // 2] ^= 0x01
+            flipped_state = recovered_state(
+                bytes(corrupted), f"flipped-{record_index}"
+            )
+            prefix_state = recovered_state(
+                torn_image[:start], f"prefix-{record_index}"
+            )
+            assert flipped_state == prefix_state, f"record {record_index}"
+
+    def test_resynced_records_are_diagnostic_only(self, torn_image, tmp_path):
+        """Salvage never resurrects post-damage records: open() truncates to
+        the valid prefix and the journal accepts fresh appends there."""
+        boundaries = record_boundaries(torn_image)
+        start, _ = boundaries[2]
+        corrupted = bytearray(torn_image)
+        corrupted[start + 4] ^= 0x40  # hit the CRC field of record 2
+        path = tmp_path / "journal.bin"
+        path.write_bytes(bytes(corrupted))
+        with EventJournal(path) as journal:
+            assert journal.record_count == 2
+            salvage = journal.recovery.salvage
+            assert salvage is not None and salvage.resynced_records == 2
+            journal.append("epilogue", {"healed": True})
+        events = EventJournal.read_events(path)
+        assert [event.type for event in events[2:]] == ["epilogue"]
+
+
 # ----------------------------------------------------------------------
 # replay parity
 # ----------------------------------------------------------------------

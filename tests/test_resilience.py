@@ -10,14 +10,20 @@ import pytest
 from repro.core import AnnotationService, TaskConfig
 from repro.core.pipeline import AnnotationPipeline
 from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    DegradedModeError,
     JournalError,
     LLMTimeoutError,
     PipelineError,
     TransientLLMError,
 )
 from repro.llm import RetryPolicy, SimulatedLLM, is_transient_error
+from repro.llm.base import LLMClient
+from repro.llm.resilience import CircuitBreaker, Deadline, HedgePolicy
+from repro.obs import Telemetry
 
-from tests.faults import FlakyLLM, SlowLLM
+from tests.faults import DiskFaultJournal, FlakyLLM, SlowLLM
 from tests.test_recovery import QUERIES, make_schema, semantic_state
 
 
@@ -251,3 +257,661 @@ class TestDrainIsolation:
         service.journal.close()  # durability lost mid-flight
         with pytest.raises(JournalError):
             service.drain()
+
+
+# ----------------------------------------------------------------------
+# circuit breaker (unit)
+# ----------------------------------------------------------------------
+
+class FakeClock:
+    """Steppable monotonic clock for breaker/deadline unit tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **overrides):
+        clock = FakeClock()
+        kwargs = dict(
+            window=4,
+            failure_rate=0.5,
+            min_calls=2,
+            recovery_timeout=1.0,
+            probe_budget=1,
+            clock=clock,
+        )
+        kwargs.update(overrides)
+        return CircuitBreaker(**kwargs), clock
+
+    def test_trips_open_at_failure_rate_and_fast_fails(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # min_calls guard: 1 outcome only
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opens == 1
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.fast_fails == 2
+
+    def test_successes_keep_the_breaker_closed(self):
+        breaker, _ = self.make(failure_rate=0.75)
+        for _ in range(3):
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state == "closed"  # never reaches 75% in the window
+
+    def test_window_is_rolling(self):
+        breaker, _ = self.make(window=2, min_calls=2, failure_rate=0.75)
+        breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        # The old failure has rolled out of the 2-slot window.
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_half_open_probe_success_closes_and_clears_window(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(0.5)
+        assert breaker.state == "open"  # recovery window not over yet
+        clock.advance(0.6)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # probe budget exhausted
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # Window was cleared on close: one failure must not re-trip.
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opens == 2
+        # The recovery clock restarted at the re-trip.
+        clock.advance(0.5)
+        assert not breaker.would_allow()
+        clock.advance(0.6)
+        assert breaker.would_allow()
+
+    def test_would_allow_never_consumes_the_probe(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.1)
+        for _ in range(5):
+            assert breaker.would_allow()
+        assert breaker.allow()  # the probe slot is still there
+
+    def test_multi_probe_budget_requires_consecutive_successes(self):
+        breaker, clock = self.make(probe_budget=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "half_open"  # one of two successes in
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_transition_callback_sees_every_edge(self):
+        transitions = []
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            window=4,
+            min_calls=2,
+            recovery_timeout=1.0,
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_parameter_validation(self):
+        for bad in (
+            dict(window=0),
+            dict(failure_rate=0.0),
+            dict(failure_rate=1.5),
+            dict(min_calls=0),
+            dict(recovery_timeout=-1),
+            dict(probe_budget=0),
+        ):
+            with pytest.raises(PipelineError):
+                CircuitBreaker(**bad)
+
+    def test_config_builder_round_trip(self):
+        config = TaskConfig(
+            breaker_enabled=True,
+            breaker_window=8,
+            breaker_failure_rate=0.25,
+            breaker_min_calls=3,
+            breaker_recovery_s=0.5,
+            breaker_probes=2,
+        )
+        config.validate()
+        breaker = config.circuit_breaker()
+        assert breaker is not None and breaker.window == 8
+        assert breaker.probe_budget == 2
+        assert TaskConfig().circuit_breaker() is None
+        assert TaskConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(PipelineError):
+            TaskConfig(breaker_enabled=True, breaker_failure_rate=0).validate()
+
+
+# ----------------------------------------------------------------------
+# deadline budgets
+# ----------------------------------------------------------------------
+
+class TestDeadline:
+    def test_remaining_expired_and_clamp(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert deadline.clamp(5.0) == pytest.approx(1.0)
+        assert deadline.clamp(0.2) == pytest.approx(0.2)
+        assert deadline.clamp(None) == pytest.approx(1.0)
+        clock.advance(1.5)
+        assert deadline.expired and deadline.remaining() == 0.0
+        with pytest.raises(PipelineError):
+            Deadline(-1.0)
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        existing = Deadline(1.0)
+        assert Deadline.coerce(existing) is existing
+        coerced = Deadline.coerce(2)
+        assert isinstance(coerced, Deadline) and coerced.budget == 2.0
+
+    def test_expired_deadline_fails_before_calling_the_backend(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=0)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            llm.generate_with_retry(prompt, None, deadline=deadline)
+        assert llm.calls == 0
+
+    def test_deadline_cut_call_is_not_blamed_on_the_breaker(self):
+        llm = SlowLLM(SimulatedLLM("gpt-4o", schema=make_schema()), delay_seconds=0.5)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        breaker = CircuitBreaker(window=2, min_calls=1, failure_rate=0.5)
+        with pytest.raises(DeadlineExceededError):
+            llm.generate_with_retry(
+                prompt,
+                RetryPolicy(max_attempts=2, base_delay=0.0),
+                deadline=Deadline(0.05),
+                breaker=breaker,
+            )
+        # The backend was cut at the caller's deadline, not its own timeout:
+        # the breaker must not count that as a backend failure.
+        assert breaker.state == "closed" and breaker.opens == 0
+
+    def test_drain_with_expired_deadline_defers_everything(self):
+        service = AnnotationService()
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES[:3], project="hr")
+        completed = service.drain(deadline=0.0)
+        assert completed == []
+        report = service.last_drain_report
+        assert report is not None
+        assert report.deferred == 3 and report.deadline_expired
+        assert service.pending_count == 3  # re-queued, not lost
+        assert service.stats.deferred == 3
+        assert service.stats.pending == 3
+
+        # A later, unconstrained drain picks the deferred jobs back up.
+        completed = service.drain()
+        assert len(completed) == 3 and not any(item.failed for item in completed)
+        assert service.pending_count == 0
+
+    def test_deferred_drain_results_match_an_undeferred_run(self):
+        deferred = AnnotationService()
+        deferred.register_project("hr", make_schema())
+        deferred.submit_many(QUERIES, project="hr")
+        deferred.drain(deadline=0.0)  # defer everything once
+        records_deferred = [item.record for item in deferred.drain()]
+
+        plain = AnnotationService()
+        plain.register_project("hr", make_schema())
+        plain.submit_many(QUERIES, project="hr")
+        records_plain = [item.record for item in plain.drain()]
+        assert records_deferred == records_plain
+
+
+# ----------------------------------------------------------------------
+# retry budget
+# ----------------------------------------------------------------------
+
+class TestRetryBudget:
+    def test_budget_stops_backoff_sleeps_early(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=10)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.5, jitter=0.0, retry_budget_s=0.05
+        )
+        started = time.monotonic()
+        with pytest.raises(TransientLLMError):
+            llm.generate_with_retry(prompt, policy)
+        elapsed = time.monotonic() - started
+        # Without the budget this would sleep ~0.5s after the first failure
+        # alone; the budget refuses the first backoff that does not fit.
+        assert elapsed < 0.3
+        assert llm.calls < 4
+
+    def test_budget_with_fitting_delays_still_heals(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.001, jitter=0.0, retry_budget_s=5.0
+        )
+        result = llm.generate_with_retry(prompt, policy)
+        assert result.candidates and llm.calls == 3
+
+    def test_config_knob_validates(self):
+        config = TaskConfig(llm_retry_budget_s=1.5)
+        config.validate()
+        assert config.retry_policy().retry_budget_s == 1.5
+        with pytest.raises(PipelineError):
+            TaskConfig(llm_retry_budget_s=0).validate()
+
+
+# ----------------------------------------------------------------------
+# hedged requests
+# ----------------------------------------------------------------------
+
+class StutterLLM(LLMClient):
+    """First ``slow_calls`` calls sleep; later calls return instantly."""
+
+    def __init__(self, inner, slow_calls: int = 1, delay_seconds: float = 0.5):
+        self.inner = inner
+        self.name = inner.name
+        self.slow_calls = slow_calls
+        self.delay_seconds = delay_seconds
+        self.calls = 0
+
+    @property
+    def example_content_sensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.example_content_sensitive
+
+    def _maybe_sleep(self) -> None:
+        self.calls += 1
+        if self.calls <= self.slow_calls:
+            time.sleep(self.delay_seconds)
+
+    def generate(self, prompt):
+        self._maybe_sleep()
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        self._maybe_sleep()
+        return self.inner.generate_batch(prompts)
+
+    def backtranslate(self, description, schema_text=""):
+        return self.inner.backtranslate(description, schema_text)
+
+
+class TestHedging:
+    def test_resolve_delay_fixed_derived_and_untrusted(self):
+        assert HedgePolicy(delay_s=0.2).resolve_delay([]) == 0.2
+        derived = HedgePolicy(percentile=0.5, min_samples=4)
+        assert derived.resolve_delay([0.1, 0.2]) is None  # too few samples
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert derived.resolve_delay(samples) == 0.3
+        with pytest.raises(PipelineError):
+            HedgePolicy(delay_s=-1)
+        with pytest.raises(PipelineError):
+            HedgePolicy(percentile=1.0)
+        with pytest.raises(PipelineError):
+            HedgePolicy(min_samples=0)
+
+    def test_backup_call_wins_behind_a_slow_primary(self):
+        llm = StutterLLM(
+            SimulatedLLM("gpt-4o", schema=make_schema()), delay_seconds=0.5
+        )
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        started = time.monotonic()
+        result = llm.generate_with_retry(
+            prompt, None, hedge=HedgePolicy(delay_s=0.05)
+        )
+        elapsed = time.monotonic() - started
+        assert result.candidates
+        assert llm.calls == 2  # primary + hedge
+        assert elapsed < 0.4  # the 0.5s primary never gated the answer
+
+    def test_fast_primary_is_never_hedged(self):
+        llm = StutterLLM(
+            SimulatedLLM("gpt-4o", schema=make_schema()), slow_calls=0
+        )
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        result = llm.generate_with_retry(
+            prompt, None, hedge=HedgePolicy(delay_s=0.2)
+        )
+        assert result.candidates and llm.calls == 1
+
+    def test_derived_delay_waits_for_samples(self):
+        llm = StutterLLM(
+            SimulatedLLM("gpt-4o", schema=make_schema()), slow_calls=0
+        )
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        hedge = HedgePolicy(min_samples=3)
+        for expected_calls in (1, 2, 3):
+            llm.generate_with_retry(prompt, None, hedge=hedge)
+            assert llm.calls == expected_calls  # unhedged: no samples yet...
+        assert len(llm.latency_samples) == 3
+        # ...and with the reservoir primed, a fast primary still wins alone.
+        llm.generate_with_retry(prompt, None, hedge=hedge)
+        assert llm.calls == 4
+
+    def test_hedged_result_matches_unhedged(self):
+        plain = SimulatedLLM("gpt-4o", schema=make_schema())
+        hedged = StutterLLM(
+            SimulatedLLM("gpt-4o", schema=make_schema()), delay_seconds=0.3
+        )
+        prompt = make_pipeline().generate_candidates(QUERIES[0]).prompt
+        expected = plain.generate_with_retry(prompt, None)
+        actual = hedged.generate_with_retry(
+            prompt, None, hedge=HedgePolicy(delay_s=0.02)
+        )
+        assert actual.candidates == expected.candidates
+
+    def test_config_builder(self):
+        config = TaskConfig(llm_hedge_enabled=True, llm_hedge_delay_s=0.1)
+        config.validate()
+        policy = config.hedge_policy()
+        assert policy is not None and policy.delay_s == 0.1
+        assert TaskConfig().hedge_policy() is None
+        with pytest.raises(PipelineError):
+            TaskConfig(llm_hedge_percentile=0.0).validate()
+
+
+# ----------------------------------------------------------------------
+# breaker-open deferral (service integration)
+# ----------------------------------------------------------------------
+
+def breaker_config(**overrides) -> TaskConfig:
+    kwargs = dict(
+        llm_max_attempts=2,
+        llm_retry_base_delay=0.0,
+        breaker_enabled=True,
+        breaker_window=4,
+        breaker_failure_rate=0.5,
+        breaker_min_calls=2,
+        breaker_recovery_s=0.05,
+    )
+    kwargs.update(overrides)
+    return TaskConfig(**kwargs)
+
+
+class TestBreakerDeferral:
+    def test_open_breaker_defers_instead_of_quarantining(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        service = AnnotationService()
+        service.register_project("hr", make_schema(), config=breaker_config(), llm=llm)
+        service.submit_many(QUERIES, project="hr")
+
+        completed = service.drain()
+        # Both retry attempts of the first wave failed -> breaker tripped ->
+        # the whole batch was deferred, with nothing quarantined.
+        assert completed == []
+        assert service.pipeline("hr").breaker.opens == 1
+        assert service.stats.failed == 0 and not service.quarantine
+        assert service.stats.deferred == len(QUERIES)
+        assert service.pending_count == len(QUERIES)
+        report = service.last_drain_report
+        assert report is not None and report.deferred == len(QUERIES)
+
+        # After the recovery window the probe succeeds and the queue drains.
+        time.sleep(0.06)
+        completed = service.drain()
+        assert len(completed) == len(QUERIES)
+        assert not any(item.failed for item in completed)
+        assert service.pipeline("hr").breaker.state == "closed"
+
+    def test_deferred_results_match_a_clean_run(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        broken = AnnotationService()
+        broken.register_project("hr", make_schema(), config=breaker_config(), llm=llm)
+        broken.submit_many(QUERIES, project="hr")
+        assert broken.drain() == []
+        time.sleep(0.06)
+        broken_records = [item.record for item in broken.drain()]
+
+        clean = AnnotationService()
+        clean.register_project("hr", make_schema(), config=breaker_config())
+        clean.submit_many(QUERIES, project="hr")
+        clean_records = [item.record for item in clean.drain()]
+        assert broken_records == clean_records
+
+    def test_open_breaker_defers_before_scheduling_any_wave(self):
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        service = AnnotationService()
+        service.register_project("hr", make_schema(), config=breaker_config(), llm=llm)
+        service.submit_many(QUERIES[:2], project="hr")
+        service.drain()  # trips the breaker
+        calls_after_trip = llm.calls
+        service.drain()  # breaker still open: deferred up-front, no LLM calls
+        assert llm.calls == calls_after_trip
+        assert service.stats.deferred >= 4
+
+    def test_breaker_telemetry_reaches_the_registry(self):
+        telemetry = Telemetry()
+        llm = FlakyLLM(SimulatedLLM("gpt-4o", schema=make_schema()), fail_times=2)
+        service = AnnotationService(telemetry=telemetry)
+        service.register_project("hr", make_schema(), config=breaker_config(), llm=llm)
+        service.submit_many(QUERIES[:3], project="hr")
+        service.drain()
+        time.sleep(0.06)
+        service.drain()
+        snapshot = telemetry.metrics_dict()
+        assert "llm_breaker_transitions_total" in snapshot
+        transitions = {
+            (
+                dict(series["labels"])["from"],
+                dict(series["labels"])["to"],
+            )
+            for series in snapshot["llm_breaker_transitions_total"]["series"]
+        }
+        assert ("closed", "open") in transitions
+        assert "service_jobs_deferred_total" in snapshot
+        assert "llm_breaker_transitions_total" in telemetry.render_prometheus()
+
+
+# ----------------------------------------------------------------------
+# degraded mode (disk faults)
+# ----------------------------------------------------------------------
+
+class TestDegradedMode:
+    def test_disk_fault_mid_drain_salvages_and_degrades(self, tmp_path):
+        # Appends: register=1, submits=2..6, commits start at 7; failing the
+        # 9th append kills the third commit.
+        journal = DiskFaultJournal(tmp_path / "journal.bin", fail_at=9)
+        service = AnnotationService()
+        service.attach_journal(journal)
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES, project="hr")
+
+        completed = service.drain()  # salvaged, not raised
+        assert service.degraded
+        report = service.last_drain_report
+        assert report is not None and report.degraded
+        assert len(completed) + report.deferred == len(QUERIES)
+        assert len(completed) >= 2  # the journaled prefix
+        assert service.pending_count == report.deferred
+        assert service.stats.deferred == report.deferred
+        assert service.journal is None  # detached on degradation
+
+        with pytest.raises(DegradedModeError):
+            service.submit(QUERIES[0], project="hr")
+        with pytest.raises(DegradedModeError):
+            service.drain()
+        # Reads still work in degraded mode.
+        assert service.pipeline("hr").annotations
+        assert service.capture_state()["projects"]
+
+    def test_disk_fault_at_submit_rejects_and_degrades(self, tmp_path):
+        journal = DiskFaultJournal(tmp_path / "journal.bin", fail_at=2)
+        service = AnnotationService()
+        service.attach_journal(journal)
+        service.register_project("hr", make_schema())
+        with pytest.raises(DegradedModeError):
+            service.submit(QUERIES[0], project="hr")
+        assert service.degraded
+        assert service.pending_count == 0  # nothing half-enqueued
+        assert service.stats.submitted == 0
+
+    def test_recovery_from_degraded_journal_completes_the_work(self, tmp_path):
+        journal = DiskFaultJournal(tmp_path / "journal.bin", fail_at=9)
+        service = AnnotationService()
+        service.attach_journal(journal)
+        service.register_project("hr", make_schema())
+        service.submit_many(QUERIES, project="hr")
+        service.drain()
+        assert service.degraded
+
+        recovered = AnnotationService.recover(tmp_path / "journal.bin")
+        assert not recovered.degraded
+        assert recovered.pending_count > 0  # the jobs the fault deferred
+        recovered.drain()
+        assert recovered.pending_count == 0
+        assert len(recovered.pipeline("hr").annotations) == len(QUERIES)
+
+        clean = AnnotationService()
+        clean.register_project("hr", make_schema())
+        clean.submit_many(QUERIES, project="hr")
+        clean.drain()
+        assert [
+            (r.sql, r.nl, r.accepted)
+            for r in recovered.pipeline("hr").annotations
+        ] == [
+            (r.sql, r.nl, r.accepted) for r in clean.pipeline("hr").annotations
+        ]
+        recovered.close()
+
+    def test_degraded_transition_telemetry(self, tmp_path):
+        telemetry = Telemetry()
+        journal = DiskFaultJournal(tmp_path / "journal.bin", fail_at=3)
+        service = AnnotationService(telemetry=telemetry)
+        service.attach_journal(journal)
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        with pytest.raises(DegradedModeError):
+            service.submit(QUERIES[1], project="hr")
+        snapshot = telemetry.metrics_dict()
+        assert (
+            snapshot["service_degraded_transitions_total"]["series"][0]["value"]
+            == 1.0
+        )
+
+
+# ----------------------------------------------------------------------
+# load shedding
+# ----------------------------------------------------------------------
+
+class TestLoadShedding:
+    def make_service(self) -> AnnotationService:
+        service = AnnotationService(global_pending_limit=4, shed_threshold=0.5)
+        service.register_project("hr", make_schema())
+        return service
+
+    def test_low_priority_is_shed_first(self):
+        service = self.make_service()
+        service.submit(QUERIES[0], project="hr")
+        service.submit(QUERIES[1], project="hr")
+        # At the shed floor (0.5 * 4 = 2 pending): priority <= 0 is refused...
+        with pytest.raises(BackpressureError):
+            service.submit(QUERIES[2], project="hr")
+        # ...but positive-priority traffic keeps flowing up to the limit.
+        service.submit(QUERIES[2], project="hr", priority=1)
+        service.submit(QUERIES[3], project="hr", priority=5)
+        with pytest.raises(BackpressureError):
+            service.submit(QUERIES[4], project="hr", priority=100)  # hard limit
+        assert service.pending_count == 4
+
+    def test_draining_reopens_admission(self):
+        service = self.make_service()
+        service.submit(QUERIES[0], project="hr")
+        service.submit(QUERIES[1], project="hr")
+        with pytest.raises(BackpressureError):
+            service.submit(QUERIES[2], project="hr")
+        service.drain()
+        service.submit(QUERIES[2], project="hr")  # queue emptied: admitted
+        assert service.pending_count == 1
+
+    def test_priority_survives_recovery(self, tmp_path):
+        service = AnnotationService.open_durable(tmp_path / "svc")
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr", priority=7)
+        service.close()
+        recovered = AnnotationService.open_durable(tmp_path / "svc")
+        assert recovered.pending_jobs()[0].priority == 7
+        recovered.close()
+
+    def test_shed_telemetry_and_validation(self):
+        telemetry = Telemetry()
+        service = AnnotationService(
+            telemetry=telemetry, global_pending_limit=1, shed_threshold=1.0
+        )
+        service.register_project("hr", make_schema())
+        service.submit(QUERIES[0], project="hr")
+        with pytest.raises(BackpressureError):
+            service.submit(QUERIES[1], project="hr", priority=9)
+        assert (
+            telemetry.metrics_dict()["service_load_shed_total"]["series"][0]["value"]
+            == 1.0
+        )
+        with pytest.raises(PipelineError):
+            AnnotationService(global_pending_limit=-1)
+        with pytest.raises(PipelineError):
+            AnnotationService(shed_threshold=0.0)
+
+
+# ----------------------------------------------------------------------
+# context managers
+# ----------------------------------------------------------------------
+
+class TestContextManagers:
+    def test_service_context_manager_closes_the_journal(self, tmp_path):
+        with AnnotationService.open_durable(tmp_path / "svc") as service:
+            service.register_project("hr", make_schema())
+            service.submit(QUERIES[0], project="hr")
+            service.drain()
+            assert service.journal is not None
+        assert service.journal is None  # closed (and detached) on exit
+        service.close()  # idempotent
+
+        with AnnotationService.open_durable(tmp_path / "svc") as recovered:
+            assert len(recovered.pipeline("hr").annotations) == 1
+
+    def test_journal_context_manager_is_idempotent(self, tmp_path):
+        from repro.core import EventJournal
+
+        with EventJournal(tmp_path / "journal.bin") as journal:
+            journal.append("alpha", {})
+            journal.close()  # early close inside the block is fine
+        with pytest.raises(JournalError):
+            journal.append("beta", {})
